@@ -1,0 +1,57 @@
+//! Criterion bench behind **Fig. 9b**: per-decision inference latency.
+//!
+//! The distributed agent's decision cost depends only on the network
+//! degree Δ_G (observation size 4Δ+4), not the network size; the
+//! centralized agent's rule update scales with the number of nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosco_core::policy::{CoordinationPolicy, PolicyMetadata};
+use dosco_nn::{Activation, Mlp};
+use dosco_topology::zoo;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn policy_for_degree(degree: usize) -> CoordinationPolicy {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let actor = Mlp::paper_arch(4 * degree + 4, degree + 1, &mut rng);
+    CoordinationPolicy::new(actor, degree, PolicyMetadata::default())
+}
+
+fn bench_distributed_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b/distributed-decision");
+    for topo in zoo::all() {
+        let degree = topo.network_degree();
+        let policy = policy_for_degree(degree);
+        let obs = vec![0.1f32; 4 * degree + 4];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}-n{}", topo.name(), topo.num_nodes())),
+            &obs,
+            |b, obs| b.iter(|| black_box(policy.act(black_box(obs)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_centralized_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b/centralized-rule-update");
+    for topo in zoo::all() {
+        let nodes = topo.num_nodes();
+        // The centralized actor maps a |V| snapshot to |V|·3 rule weights.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let actor = Mlp::new(&[nodes, 64, 64, nodes * 3], Activation::Tanh, &mut rng);
+        let snapshot = dosco_nn::Matrix::row_vector(&vec![0.5f32; nodes]);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}-n{nodes}", topo.name())),
+            &snapshot,
+            |b, snap| b.iter(|| black_box(actor.forward(black_box(snap)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_distributed_decision, bench_centralized_decision
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Simulator throughput: decisions per second on each evaluation topology
+//! under the GCASP heuristic — the capacity-planning number for the
+//! training loop (how many env transitions a core can generate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosco_baselines::gcasp::Gcasp;
+use dosco_bench::scenarios::topology_scenario;
+use dosco_simnet::Simulation;
+use dosco_topology::zoo;
+use std::hint::black_box;
+
+fn bench_episode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet/episode-1000ms");
+    group.sample_size(10);
+    for topo in zoo::all() {
+        let name = topo.name().to_string();
+        let scenario = topology_scenario(topo, 1_000.0);
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &scenario, |b, s| {
+            b.iter(|| {
+                let mut sim = Simulation::new(s.clone(), 7);
+                let mut g = Gcasp::new();
+                black_box(sim.run(&mut g).decisions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    // Isolated decision-step cost on the base scenario.
+    let scenario = dosco_bench::base_scenario(
+        5,
+        dosco_traffic::ArrivalPattern::paper_poisson(),
+        2_000.0,
+    );
+    c.bench_function("simnet/step-and-apply", |b| {
+        b.iter_batched(
+            || Simulation::new(scenario.clone(), 3),
+            |mut sim| {
+                let mut g = Gcasp::new();
+                use dosco_simnet::Coordinator;
+                let mut n = 0;
+                while let Some(dp) = sim.next_decision() {
+                    let a = g.decide(&sim, &dp);
+                    sim.apply(a);
+                    n += 1;
+                    if n >= 200 {
+                        break;
+                    }
+                }
+                black_box(n)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_episode, bench_event_queue
+}
+criterion_main!(benches);

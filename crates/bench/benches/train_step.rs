@@ -1,0 +1,83 @@
+//! Training-step cost: A2C (RMSprop) versus ACKTR (K-FAC) updates on the
+//! paper's 2×256 networks, plus the K-FAC inversion in isolation — the
+//! ablation data for the "natural gradient is affordable" design choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosco_nn::kfac::{Kfac, KfacConfig};
+use dosco_nn::linalg::damped_inverse;
+use dosco_nn::matrix::Matrix;
+use dosco_nn::mlp::Mlp;
+use dosco_nn::optim::{Optimizer, RmsProp};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const OBS: usize = 16; // Abilene: 4·3+4
+const ACTS: usize = 4;
+const BATCH: usize = 64; // 16 steps × 4 envs
+
+fn setup() -> (Mlp, Matrix) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let net = Mlp::paper_arch(OBS, ACTS, &mut rng);
+    let x = Matrix::from_fn(BATCH, OBS, |r, c| ((r * 13 + c * 7) % 17) as f32 / 17.0 - 0.5);
+    (net, x)
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let (net, x) = setup();
+    c.bench_function("train/forward-backward-64x(16-256-256-4)", |b| {
+        b.iter(|| {
+            let cache = net.forward_cached(black_box(&x));
+            let grads = net.backward(&cache, &cache.output);
+            black_box(grads.global_norm())
+        })
+    });
+}
+
+fn bench_rmsprop_step(c: &mut Criterion) {
+    let (mut net, x) = setup();
+    let mut opt = RmsProp::with_lr(7e-3);
+    c.bench_function("train/a2c-rmsprop-step", |b| {
+        b.iter(|| {
+            let cache = net.forward_cached(&x);
+            let grads = net.backward(&cache, &cache.output);
+            opt.step(&mut net, &grads);
+            black_box(net.num_params())
+        })
+    });
+}
+
+fn bench_kfac_step(c: &mut Criterion) {
+    let (mut net, x) = setup();
+    let mut kfac = Kfac::new(&net, KfacConfig::default());
+    c.bench_function("train/acktr-kfac-step", |b| {
+        b.iter(|| {
+            let cache = net.forward_cached(&x);
+            let grads = net.backward(&cache, &cache.output);
+            let fg: Vec<&Matrix> = grads.layers.iter().map(|l| &l.preact_grads).collect();
+            kfac.update_stats(&cache, &fg);
+            kfac.step(&mut net, &grads).expect("spd factors");
+            black_box(net.num_params())
+        })
+    });
+}
+
+fn bench_kfac_inversion(c: &mut Criterion) {
+    // The 257×257 damped inversion that K-FAC amortizes over
+    // `inverse_period` updates.
+    let n = 257;
+    let b = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f32 / 13.0 - 0.5);
+    let m = b.matmul_transpose(&b).scaled(1.0 / n as f32);
+    let mut group = c.benchmark_group("train/kfac-inversion-257");
+    group.sample_size(20);
+    group.bench_function("damped-cholesky", |bch| {
+        bch.iter(|| black_box(damped_inverse(black_box(&m), 0.01).expect("spd")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_forward_backward, bench_rmsprop_step, bench_kfac_step, bench_kfac_inversion
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Compares greedy vs stochastic inference for a trained policy — a
+//! sizing probe for the evaluation protocol (stable-baselines' `predict`
+//! samples by default; argmax can lock into forwarding loops).
+
+use dosco_bench::report::flag_value;
+use dosco_bench::runner::scenario_with_capacity_seed;
+use dosco_bench::scenarios::{base_scenario, pattern_by_name};
+use dosco_core::policy::CoordinationPolicy;
+use dosco_core::DistributedAgents;
+use dosco_simnet::Simulation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = flag_value(&args, "--policy").expect("--policy <json> required");
+    let pattern = pattern_by_name(
+        flag_value(&args, "--pattern").as_deref().unwrap_or("poisson"),
+    );
+    let ingress: usize = flag_value(&args, "--ingress")
+        .map(|v| v.parse().expect("--ingress must be an integer"))
+        .unwrap_or(2);
+    let policy = CoordinationPolicy::load(&path).expect("readable policy JSON");
+    let scenario = base_scenario(ingress, pattern, 5_000.0);
+    for mode in ["greedy", "stochastic"] {
+        let mut ratios = Vec::new();
+        for seed in 100..105u64 {
+            let s = scenario_with_capacity_seed(&scenario, seed);
+            let mut agents = if mode == "greedy" {
+                DistributedAgents::deploy(&policy, s.topology.num_nodes())
+            } else {
+                DistributedAgents::deploy_stochastic(&policy, s.topology.num_nodes(), seed)
+            };
+            let mut sim = Simulation::new(s, seed);
+            ratios.push(sim.run(&mut agents).success_ratio());
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("{mode:<11} mean success {mean:.3}  ({ratios:.2?})");
+    }
+}

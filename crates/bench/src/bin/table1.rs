@@ -1,0 +1,27 @@
+//! Regenerates **Table I**: real-world network topologies and their size
+//! and degree statistics.
+//!
+//! ```text
+//! cargo run -p dosco-bench --release --bin table1
+//! ```
+
+use dosco_topology::zoo;
+
+fn main() {
+    println!("TABLE I: Real-world network topologies [9]");
+    println!(
+        "{:<14} {:>5} {:>5}   {}",
+        "Network", "Nodes", "Edges", "Degree (Min./Max./Avg.)"
+    );
+    for row in zoo::table1() {
+        println!("{row}");
+    }
+    println!("\ncsv:");
+    println!("network,nodes,edges,min_degree,max_degree,avg_degree");
+    for row in zoo::table1() {
+        println!(
+            "{},{},{},{},{},{:.2}",
+            row.name, row.nodes, row.edges, row.degree.min, row.degree.max, row.degree.avg
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Evaluation scenario construction (Sec. V-A1).
+
+use dosco_simnet::ScenarioConfig;
+use dosco_topology::{NodeId, Topology};
+use dosco_traffic::ArrivalPattern;
+use rand::SeedableRng;
+
+/// The base scenario with `num_ingress` ingress nodes and the given
+/// arrival pattern (defaults to the paper's otherwise: Abilene, video
+/// service, deadline 100, egress v8).
+pub fn base_scenario(num_ingress: usize, pattern: ArrivalPattern, horizon: f64) -> ScenarioConfig {
+    ScenarioConfig::paper_base(num_ingress)
+        .with_pattern(pattern)
+        .with_horizon(horizon)
+}
+
+/// A scenario on an arbitrary topology (Sec. V-E): random capacities as in
+/// the base scenario (nodes U(0,2), links U(1,5)), Poisson traffic at the
+/// two lowest-id nodes (the paper's "node IDs v1 and v2"), egress `v8`,
+/// the paper service, deadline 100.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than 9 nodes (needs `v8`).
+pub fn topology_scenario(mut topology: Topology, horizon: f64) -> ScenarioConfig {
+    assert!(
+        topology.num_nodes() >= 9,
+        "scalability scenario needs at least 9 nodes for egress v8"
+    );
+    let capacity_seed = 0xD05C0;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(capacity_seed);
+    topology.assign_random_capacities(&mut rng, (0.0, 2.0), (1.0, 5.0));
+    let base = ScenarioConfig::paper_base(2);
+    let mut ingresses = base.ingresses.clone();
+    ingresses[0].node = NodeId(0);
+    ingresses[1].node = NodeId(1);
+    for ing in &mut ingresses {
+        ing.egress = NodeId(7);
+        ing.pattern = ArrivalPattern::paper_poisson();
+    }
+    let cfg = ScenarioConfig {
+        topology,
+        catalog: base.catalog,
+        ingresses,
+        horizon,
+        hold_delay: 1.0,
+        capacity_seed,
+    };
+    cfg.validate().expect("topology scenario is valid");
+    cfg
+}
+
+/// Parses the four pattern names used on experiment CLIs.
+///
+/// # Panics
+///
+/// Panics on unknown names (the CLI surfaces the message).
+pub fn pattern_by_name(name: &str) -> ArrivalPattern {
+    match name {
+        "fixed" => ArrivalPattern::paper_fixed(),
+        "poisson" => ArrivalPattern::paper_poisson(),
+        "mmpp" => ArrivalPattern::paper_mmpp(),
+        "trace" => ArrivalPattern::paper_trace(),
+        other => panic!("unknown pattern {other:?}; use fixed|poisson|mmpp|trace"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosco_topology::zoo;
+
+    #[test]
+    fn base_scenario_shape() {
+        let s = base_scenario(3, ArrivalPattern::paper_poisson(), 1_000.0);
+        assert_eq!(s.ingresses.len(), 3);
+        assert_eq!(s.horizon, 1_000.0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn topology_scenarios_for_all_zoo_networks() {
+        for topo in zoo::all() {
+            let s = topology_scenario(topo, 500.0);
+            s.validate().unwrap();
+            assert_eq!(s.ingresses.len(), 2);
+            assert_eq!(s.ingresses[0].node, NodeId(0));
+            assert_eq!(s.ingresses[1].egress, NodeId(7));
+        }
+    }
+
+    #[test]
+    fn pattern_names_round_trip() {
+        for n in ["fixed", "poisson", "mmpp", "trace"] {
+            assert_eq!(pattern_by_name(n).name(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pattern")]
+    fn pattern_rejects_unknown() {
+        pattern_by_name("bursty");
+    }
+}

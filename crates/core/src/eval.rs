@@ -1,0 +1,114 @@
+//! Evaluation runs: deploy a policy distributedly and measure the paper's
+//! success-ratio objective.
+
+use crate::policy::{CoordinationPolicy, DistributedAgents};
+use dosco_simnet::{Metrics, ScenarioConfig, Simulation};
+
+/// Runs one full episode of `scenario` with `policy` deployed at every
+/// node (greedy, fully distributed inference) and returns the metrics.
+///
+/// # Panics
+///
+/// Panics if the scenario is invalid or the policy's padded degree is
+/// smaller than the scenario topology's network degree.
+pub fn evaluate(policy: &CoordinationPolicy, scenario: &ScenarioConfig, seed: u64) -> Metrics {
+    let mut agents = DistributedAgents::deploy(policy, scenario.topology.num_nodes());
+    let mut sim = Simulation::new(scenario.clone(), seed);
+    sim.run(&mut agents).clone()
+}
+
+/// Like [`evaluate`], but first re-draws the random capacity assignment
+/// from `seed` (nodes U(0,2), links U(1,5)) — one sample of the paper's
+/// random-seed evaluation protocol, and the counterpart of the training
+/// environment's per-episode capacity resampling.
+pub fn evaluate_with_capacity_draw(
+    policy: &CoordinationPolicy,
+    scenario: &ScenarioConfig,
+    seed: u64,
+) -> Metrics {
+    let mut scenario = scenario.clone();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xCAB5);
+    scenario
+        .topology
+        .assign_random_capacities(&mut rng, (0.0, 2.0), (1.0, 5.0));
+    evaluate(policy, &scenario, seed)
+}
+
+/// Evaluates over several seeds and returns `(mean, std)` of the success
+/// ratio, plus the per-seed metrics — the aggregation used in every figure
+/// of Sec. V ("mean and standard deviation over 30 random seeds").
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty (see [`evaluate`] for the other cases).
+pub fn evaluate_seeds(
+    policy: &CoordinationPolicy,
+    scenario: &ScenarioConfig,
+    seeds: &[u64],
+) -> (f64, f64, Vec<Metrics>) {
+    assert!(!seeds.is_empty(), "need at least one evaluation seed");
+    let metrics: Vec<Metrics> = seeds
+        .iter()
+        .map(|&s| evaluate(policy, scenario, s))
+        .collect();
+    let ratios: Vec<f64> = metrics.iter().map(Metrics::success_ratio).collect();
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let var = ratios
+        .iter()
+        .map(|r| (r - mean) * (r - mean))
+        .sum::<f64>()
+        / ratios.len() as f64;
+    (mean, var.sqrt(), metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyMetadata;
+    use dosco_nn::{Activation, Mlp};
+    use rand::SeedableRng;
+
+    fn random_policy(degree: usize, seed: u64) -> CoordinationPolicy {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let actor = Mlp::new(
+            &[4 * degree + 4, 8, degree + 1],
+            Activation::Tanh,
+            &mut rng,
+        );
+        CoordinationPolicy::new(actor, degree, PolicyMetadata::default())
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let p = random_policy(3, 1);
+        let scenario = ScenarioConfig::paper_base(2).with_horizon(400.0);
+        let a = evaluate(&p, &scenario, 9);
+        let b = evaluate(&p, &scenario, 9);
+        assert_eq!(a, b);
+        assert!(a.arrived > 0);
+    }
+
+    #[test]
+    fn seed_aggregation_statistics() {
+        let p = random_policy(3, 1);
+        let scenario = ScenarioConfig::paper_base(1)
+            .with_pattern(dosco_traffic::ArrivalPattern::paper_poisson())
+            .with_horizon(400.0);
+        let (mean, std, metrics) = evaluate_seeds(&p, &scenario, &[1, 2, 3, 4]);
+        assert_eq!(metrics.len(), 4);
+        assert!((0.0..=1.0).contains(&mean));
+        assert!(std >= 0.0);
+        // Mean really is the mean of the per-seed ratios.
+        let expect: f64 =
+            metrics.iter().map(Metrics::success_ratio).sum::<f64>() / 4.0;
+        assert!((mean - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one evaluation seed")]
+    fn rejects_empty_seed_list() {
+        let p = random_policy(3, 1);
+        let scenario = ScenarioConfig::paper_base(1);
+        evaluate_seeds(&p, &scenario, &[]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Gym-style environment adapter over the network simulator (Fig. 5).
+//!
+//! One RL step = one flow decision somewhere in the network. Rewards of
+//! all events since the previous decision are credited to the previous
+//! action (Alg. 1 ln. 6-7): the training loop treats the sequence of
+//! decisions — across flows and nodes — as a single trajectory for the
+//! shared policy.
+
+use crate::observe::ObservationAdapter;
+use crate::reward::RewardConfig;
+use dosco_rl::env::{Env, StepResult};
+use dosco_simnet::{Action, ScenarioConfig, Simulation};
+
+/// The training environment: a simulated episode of the scenario, exposing
+/// flow decisions as RL steps.
+///
+/// Episodes restart automatically with a fresh simulator seed (derived
+/// from the env's base seed and the episode counter), so parallel env
+/// copies see diverse traffic.
+#[derive(Debug)]
+pub struct CoordEnv {
+    scenario: ScenarioConfig,
+    adapter: ObservationAdapter,
+    reward: RewardConfig,
+    sim: Simulation,
+    base_seed: u64,
+    episode: u64,
+    /// Reward accumulated by events since the last step's action.
+    diameter: f64,
+    /// Re-draw node/link capacities each episode (curriculum over
+    /// scenario draws; harder but matches the seeded evaluation protocol).
+    resample_capacities: bool,
+}
+
+impl CoordEnv {
+    /// Creates an environment for `scenario`. The observation adapter is
+    /// padded to the scenario topology's network degree unless
+    /// `degree_override` asks for more (useful when a policy must transfer
+    /// across topologies of different degree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is invalid or the override is smaller than
+    /// the topology's degree.
+    pub fn new(
+        scenario: ScenarioConfig,
+        reward: RewardConfig,
+        base_seed: u64,
+        degree_override: Option<usize>,
+    ) -> Self {
+        let topo_degree = scenario.topology.network_degree();
+        let degree = degree_override.unwrap_or(topo_degree);
+        assert!(
+            degree >= topo_degree,
+            "degree override {degree} below topology degree {topo_degree}"
+        );
+        let sim = Simulation::new(scenario.clone(), base_seed);
+        let diameter = sim.diameter();
+        CoordEnv {
+            scenario,
+            adapter: ObservationAdapter::new(degree),
+            reward,
+            sim,
+            base_seed,
+            episode: 0,
+            diameter,
+            resample_capacities: true,
+        }
+    }
+
+    /// Disables the per-episode capacity re-draw: every episode uses the
+    /// scenario's canonical capacities. Narrows the training distribution
+    /// (easier to learn, weaker transfer across scenario draws).
+    pub fn with_fixed_capacities(mut self) -> Self {
+        self.resample_capacities = false;
+        self
+    }
+
+    /// The observation adapter in use.
+    pub fn adapter(&self) -> &ObservationAdapter {
+        &self.adapter
+    }
+
+    /// Metrics of the current (possibly running) episode.
+    pub fn metrics(&self) -> &dosco_simnet::Metrics {
+        self.sim.metrics()
+    }
+
+    fn fresh_sim(&mut self) -> Vec<f32> {
+        self.episode += 1;
+        // Spread episode seeds deterministically.
+        let seed = self
+            .base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.episode);
+        // Re-draw the random capacity assignment each episode so the
+        // learned policy generalizes over scenario draws, matching the
+        // evaluation protocol (mean over random seeds incl. capacities).
+        let mut scenario = self.scenario.clone();
+        if self.resample_capacities {
+            let mut rng =
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xCAB5);
+            scenario
+                .topology
+                .assign_random_capacities(&mut rng, (0.0, 2.0), (1.0, 5.0));
+        }
+        self.sim = Simulation::new(scenario, seed);
+        self.sim.drain_events();
+        let dp = self
+            .sim
+            .next_decision()
+            .expect("a fresh episode must contain at least one decision");
+        self.adapter.observe(&self.sim, &dp)
+    }
+}
+
+impl Env for CoordEnv {
+    fn obs_dim(&self) -> usize {
+        self.adapter.obs_dim()
+    }
+
+    fn num_actions(&self) -> usize {
+        self.adapter.num_actions()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.fresh_sim()
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        assert!(
+            action < self.num_actions(),
+            "action {action} outside the {}-action space",
+            self.num_actions()
+        );
+        self.sim.apply(Action::from_index(action));
+        match self.sim.next_decision() {
+            Some(dp) => {
+                let events = self.sim.drain_events();
+                let reward = self.reward.batch_reward(&events, self.diameter);
+                StepResult {
+                    obs: self.adapter.observe(&self.sim, &dp),
+                    reward,
+                    done: false,
+                }
+            }
+            None => {
+                let events = self.sim.drain_events();
+                let reward = self.reward.batch_reward(&events, self.diameter);
+                StepResult {
+                    obs: self.fresh_sim(),
+                    reward,
+                    done: true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosco_traffic::ArrivalPattern;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn env() -> CoordEnv {
+        let scenario = dosco_simnet::ScenarioConfig::paper_base(2)
+            .with_pattern(ArrivalPattern::paper_poisson())
+            .with_horizon(500.0);
+        CoordEnv::new(scenario, RewardConfig::default(), 1, None)
+    }
+
+    #[test]
+    fn dimensions_match_abilene() {
+        let e = env();
+        assert_eq!(e.obs_dim(), 16); // Δ_G = 3
+        assert_eq!(e.num_actions(), 4);
+    }
+
+    #[test]
+    fn episodes_roll_over_with_done() {
+        let mut e = env();
+        let obs = e.reset();
+        assert_eq!(obs.len(), 16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut dones = 0;
+        for _ in 0..5_000 {
+            let a = rng.gen_range(0..e.num_actions());
+            let r = e.step(a);
+            assert_eq!(r.obs.len(), 16);
+            assert!(r.reward.is_finite());
+            if r.done {
+                dones += 1;
+                if dones >= 2 {
+                    return; // two full episodes exercised
+                }
+            }
+        }
+        panic!("episodes never terminated");
+    }
+
+    #[test]
+    fn rewards_reflect_events() {
+        // Deterministic fixed traffic on a 500-step horizon; every drop
+        // through an invalid action yields −10 plus small shaping terms.
+        let scenario = dosco_simnet::ScenarioConfig::paper_base(1).with_horizon(200.0);
+        let mut e = CoordEnv::new(scenario, RewardConfig::default(), 3, None);
+        e.reset();
+        // Abilene v1 has 2 neighbors; action 3 is invalid -> drop (-10).
+        let r = e.step(3);
+        assert!(
+            (r.reward - -10.0).abs() < 1.0,
+            "expected ~-10 for invalid-action drop, got {}",
+            r.reward
+        );
+    }
+
+    #[test]
+    fn degree_override_grows_spaces() {
+        let scenario = dosco_simnet::ScenarioConfig::paper_base(1).with_horizon(100.0);
+        let e = CoordEnv::new(scenario, RewardConfig::default(), 1, Some(7));
+        assert_eq!(e.obs_dim(), 32);
+        assert_eq!(e.num_actions(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "below topology degree")]
+    fn rejects_small_override() {
+        let scenario = dosco_simnet::ScenarioConfig::paper_base(1);
+        CoordEnv::new(scenario, RewardConfig::default(), 1, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_action() {
+        let mut e = env();
+        e.reset();
+        e.step(99);
+    }
+}

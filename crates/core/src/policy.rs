@@ -1,0 +1,311 @@
+//! Trained coordination policies and their distributed deployment
+//! (Fig. 4b).
+
+use crate::observe::ObservationAdapter;
+use dosco_nn::matrix::Matrix;
+use dosco_nn::mlp::Mlp;
+use dosco_nn::Categorical;
+use dosco_simnet::{Action, Coordinator, DecisionPoint, Simulation};
+use dosco_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// A trained coordination policy: the actor network plus the observation
+/// contract it was trained with. This is the artifact that centralized
+/// training produces and that gets copied to every node for distributed
+/// inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoordinationPolicy {
+    /// The actor network (observation → action logits).
+    actor: Mlp,
+    /// The network degree the observation adapter was padded to.
+    degree: usize,
+    /// Free-form provenance (scenario, algorithm, seed, score).
+    pub metadata: PolicyMetadata,
+}
+
+/// Provenance recorded with a trained policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyMetadata {
+    /// Human-readable scenario description.
+    pub scenario: String,
+    /// Training algorithm name.
+    pub algorithm: String,
+    /// Winning training seed.
+    pub seed: u64,
+    /// Selection score of the winning seed.
+    pub score: f32,
+    /// Environment transitions trained on.
+    pub total_steps: usize,
+}
+
+impl CoordinationPolicy {
+    /// Wraps a trained actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor's input/output dimensions are inconsistent with
+    /// `degree` (`4·Δ+4` inputs, `Δ+1` outputs).
+    pub fn new(actor: Mlp, degree: usize, metadata: PolicyMetadata) -> Self {
+        assert_eq!(
+            actor.inputs(),
+            4 * degree + 4,
+            "actor inputs must equal 4·Δ+4"
+        );
+        assert_eq!(
+            actor.outputs(),
+            degree + 1,
+            "actor outputs must equal Δ+1"
+        );
+        CoordinationPolicy {
+            actor,
+            degree,
+            metadata,
+        }
+    }
+
+    /// The actor network.
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// The padded network degree `Δ_G`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// An observation adapter matching this policy.
+    pub fn adapter(&self) -> ObservationAdapter {
+        ObservationAdapter::new(self.degree)
+    }
+
+    /// Greedy action for a raw observation vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs.len()` mismatches the policy's input dimension.
+    pub fn act(&self, obs: &[f32]) -> usize {
+        Categorical::new(&self.actor.forward(&Matrix::row_vector(obs))).argmax()[0]
+    }
+
+    /// Stochastic action: samples from the policy distribution. This is
+    /// the default prediction mode of the stable-baselines agents the
+    /// paper deployed; unlike the greedy argmax it cannot lock into
+    /// deterministic forwarding loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs.len()` mismatches the policy's input dimension.
+    pub fn act_sampled<R: rand::Rng + ?Sized>(&self, obs: &[f32], rng: &mut R) -> usize {
+        Categorical::new(&self.actor.forward(&Matrix::row_vector(obs))).sample(rng)[0]
+    }
+
+    /// Serializes the policy to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails (effectively never for
+    /// in-memory data).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a policy from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed JSON or mismatched shapes.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Saves the policy to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the filesystem.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a policy from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors or [`io::ErrorKind::InvalidData`] for malformed
+    /// content.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// The fully distributed deployment: one agent per node, each holding its
+/// own copy of the trained network (Fig. 4b) and deciding from local
+/// observations only.
+///
+/// Functionally every copy is identical — the value of materializing the
+/// copies is architectural fidelity and honest per-agent inference-latency
+/// measurements (Fig. 9b).
+#[derive(Debug, Clone)]
+pub struct DistributedAgents {
+    agents: Vec<CoordinationPolicy>,
+    adapter: ObservationAdapter,
+    /// Count of decisions taken per node (diagnostics).
+    decisions: Vec<u64>,
+    /// Sampling RNG; `None` = greedy argmax inference.
+    sampler: Option<rand::rngs::StdRng>,
+}
+
+impl DistributedAgents {
+    /// Deploys a copy of `policy` at each of `num_nodes` nodes, deciding
+    /// greedily (argmax).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0`.
+    pub fn deploy(policy: &CoordinationPolicy, num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "need at least one node");
+        DistributedAgents {
+            agents: vec![policy.clone(); num_nodes],
+            adapter: policy.adapter(),
+            decisions: vec![0; num_nodes],
+            sampler: None,
+        }
+    }
+
+    /// Like [`DistributedAgents::deploy`] but sampling actions from the
+    /// policy distribution (stable-baselines' default prediction mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0`.
+    pub fn deploy_stochastic(
+        policy: &CoordinationPolicy,
+        num_nodes: usize,
+        seed: u64,
+    ) -> Self {
+        use rand::SeedableRng;
+        let mut agents = Self::deploy(policy, num_nodes);
+        agents.sampler = Some(rand::rngs::StdRng::seed_from_u64(seed));
+        agents
+    }
+
+    /// The per-node decision counters.
+    pub fn decisions_per_node(&self) -> &[u64] {
+        &self.decisions
+    }
+
+    /// The local agent at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn agent(&self, node: NodeId) -> &CoordinationPolicy {
+        &self.agents[node.0]
+    }
+}
+
+impl Coordinator for DistributedAgents {
+    fn decide(&mut self, sim: &Simulation, dp: &DecisionPoint) -> Action {
+        let obs = self.adapter.observe(sim, dp);
+        self.decisions[dp.node.0] += 1;
+        // Only the node's own agent is consulted: fully local inference.
+        let agent = &self.agents[dp.node.0];
+        let action = match &mut self.sampler {
+            Some(rng) => agent.act_sampled(&obs, rng),
+            None => agent.act(&obs),
+        };
+        Action::from_index(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosco_nn::Activation;
+    use rand::SeedableRng;
+
+    fn policy(degree: usize) -> CoordinationPolicy {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let actor = Mlp::new(
+            &[4 * degree + 4, 16, degree + 1],
+            Activation::Tanh,
+            &mut rng,
+        );
+        CoordinationPolicy::new(actor, degree, PolicyMetadata::default())
+    }
+
+    #[test]
+    fn construction_checks_shapes() {
+        let p = policy(3);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.adapter().obs_dim(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "4·Δ+4")]
+    fn rejects_mismatched_actor() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let actor = Mlp::new(&[10, 8, 4], Activation::Tanh, &mut rng);
+        CoordinationPolicy::new(actor, 3, PolicyMetadata::default());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_decisions() {
+        let p = policy(3);
+        let json = p.to_json().unwrap();
+        let q = CoordinationPolicy::from_json(&json).unwrap();
+        for trial in 0..20 {
+            let obs: Vec<f32> = (0..16)
+                .map(|i| ((trial * 31 + i * 7) % 21) as f32 / 10.0 - 1.0)
+                .collect();
+            assert_eq!(p.act(&obs), q.act(&obs), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let p = policy(3);
+        let dir = std::env::temp_dir().join("dosco-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.json");
+        p.save(&path).unwrap();
+        let q = CoordinationPolicy::load(&path).unwrap();
+        assert_eq!(p.degree(), q.degree());
+        let obs = vec![0.0f32; 16];
+        assert_eq!(p.act(&obs), q.act(&obs));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("dosco-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = CoordinationPolicy::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn distributed_agents_route_by_node() {
+        use dosco_simnet::ScenarioConfig;
+        let p = policy(3);
+        let scenario = ScenarioConfig::paper_base(2).with_horizon(300.0);
+        let num_nodes = scenario.topology.num_nodes();
+        let mut agents = DistributedAgents::deploy(&p, num_nodes);
+        let mut sim = Simulation::new(scenario, 4);
+        sim.run(&mut agents);
+        let total: u64 = agents.decisions_per_node().iter().sum();
+        assert!(total > 0);
+        assert_eq!(agents.decisions_per_node().len(), num_nodes);
+        // Ingress nodes certainly decided (flows arrive there).
+        assert!(agents.decisions_per_node()[0] > 0);
+    }
+}

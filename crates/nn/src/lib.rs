@@ -1,0 +1,49 @@
+//! A small neural-network substrate for the distributed-DRL service
+//! coordination reproduction.
+//!
+//! The paper trains 2×256 tanh MLPs for actor and critic with the ACKTR
+//! algorithm (RMSprop-flavored natural gradient via K-FAC; Sec. IV-C2 and
+//! V-A2). The thin Rust ML ecosystem is substituted by this crate (see
+//! DESIGN.md §2):
+//!
+//! - [`matrix`]: dense row-major `f32` matrices with shape-checked ops,
+//! - [`linalg`]: damped symmetric inversion (Cholesky, `f64` internally),
+//! - [`mlp`]: dense MLPs with manual forward/backward passes,
+//! - [`dist`]: categorical policy heads (sampling, entropy, policy-gradient
+//!   and Fisher-sampled logit gradients),
+//! - [`optim`]: SGD / RMSprop / Adam,
+//! - [`kfac`]: Kronecker-factored natural-gradient preconditioning with a
+//!   KL trust region (the core of ACKTR).
+//!
+//! Models serialize with serde, so trained policies can be copied to every
+//! node for distributed inference (Fig. 4b) and shipped as JSON artifacts.
+//!
+//! # Example
+//!
+//! ```
+//! use dosco_nn::{dist::Categorical, matrix::Matrix, mlp::Mlp};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let actor = Mlp::paper_arch(16, 4, &mut rng); // Δ_G = 3 -> 4 actions
+//! let obs = Matrix::zeros(1, 16);
+//! let dist = Categorical::new(&actor.forward(&obs));
+//! let action = dist.argmax()[0];
+//! assert!(action < 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dist;
+pub mod kfac;
+pub mod linalg;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+pub use dist::Categorical;
+pub use kfac::{Kfac, KfacConfig};
+pub use matrix::Matrix;
+pub use mlp::{Activation, ForwardCache, Gradients, Mlp};
+pub use optim::{Adam, Optimizer, RmsProp, Sgd};

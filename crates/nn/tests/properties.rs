@@ -1,0 +1,114 @@
+//! Property-based tests for the NN substrate.
+
+use dosco_nn::dist::{log_softmax_row, softmax_row, Categorical};
+use dosco_nn::linalg::damped_inverse;
+use dosco_nn::matrix::Matrix;
+use dosco_nn::mlp::{Activation, Mlp};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-5.0f32..5.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)·C == A·(B·C) within f32 tolerance on small matrices.
+    #[test]
+    fn matmul_associative(a in finite_vec(6), b in finite_vec(6), c in finite_vec(6)) {
+        let a = Matrix::from_vec(2, 3, a);
+        let b = Matrix::from_vec(3, 2, b);
+        let c = Matrix::from_vec(2, 3, c);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Transpose round-trips and fused transpose-products agree with the
+    /// explicit transpose.
+    #[test]
+    fn transpose_consistency(data in finite_vec(12)) {
+        let m = Matrix::from_vec(3, 4, data);
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let other = Matrix::from_vec(3, 2, (0..6).map(|i| i as f32 / 3.0).collect());
+        prop_assert_eq!(m.transpose_matmul(&other), m.transpose().matmul(&other));
+    }
+
+    /// Softmax rows are probability vectors; log-softmax matches ln(softmax).
+    #[test]
+    fn softmax_is_probability_vector(logits in finite_vec(5)) {
+        let p = softmax_row(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let lp = log_softmax_row(&logits);
+        for (l, pr) in lp.iter().zip(&p) {
+            prop_assert!((l.exp() - pr).abs() < 1e-5);
+        }
+    }
+
+    /// Categorical entropy is bounded by ln(K) and non-negative.
+    #[test]
+    fn entropy_bounds(logits in finite_vec(6)) {
+        let d = Categorical::new(&Matrix::row_vector(&logits));
+        let h = d.entropy()[0];
+        prop_assert!(h >= -1e-5);
+        prop_assert!(h <= (6.0f32).ln() + 1e-4);
+    }
+
+    /// Sampled actions always have non-zero probability.
+    #[test]
+    fn samples_in_support(logits in finite_vec(4), seed in 0u64..1000) {
+        let d = Categorical::new(&Matrix::row_vector(&logits));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = d.sample(&mut rng)[0];
+        prop_assert!(a < 4);
+        prop_assert!(d.log_prob(&[a])[0].is_finite());
+    }
+
+    /// Damped inverses of SPD matrices satisfy (M + λI)·inv ≈ I.
+    #[test]
+    fn damped_inverse_correct(data in finite_vec(9), damping in 0.01f64..1.0) {
+        let b = Matrix::from_vec(3, 3, data);
+        let m = b.matmul_transpose(&b); // PSD
+        let inv = damped_inverse(&m, damping).unwrap();
+        let damped = m.add(&Matrix::identity(3).scaled(damping as f32));
+        let prod = damped.matmul(&inv);
+        let err = prod.sub(&Matrix::identity(3)).max_abs();
+        prop_assert!(err < 2e-2, "residual {err}");
+    }
+
+    /// Forward passes are deterministic and bounded for tanh hidden nets
+    /// (hidden activations in [-1,1], output a bounded linear combo).
+    #[test]
+    fn mlp_forward_finite(obs in finite_vec(8), seed in 0u64..100) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[8, 16, 3], Activation::Tanh, &mut rng);
+        let out = net.forward(&Matrix::row_vector(&obs));
+        prop_assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        prop_assert_eq!(out.clone(), net.forward(&Matrix::row_vector(&obs)));
+    }
+
+    /// apply_update with the negated gradient and tiny step never
+    /// increases a quadratic loss (descent direction property).
+    #[test]
+    fn gradient_is_descent_direction(obs in finite_vec(4), seed in 0u64..50) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = Mlp::new(&[4, 8, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::row_vector(&obs);
+        let loss = |n: &Mlp| {
+            let o = n.forward(&x);
+            0.5 * o.dot(&o)
+        };
+        let before = loss(&net);
+        prop_assume!(before > 1e-6);
+        let cache = net.forward_cached(&x);
+        let grads = net.backward(&cache, &cache.output);
+        net.apply_update(&grads, -1e-4);
+        let after = loss(&net);
+        prop_assert!(after <= before + 1e-6, "{before} -> {after}");
+    }
+}

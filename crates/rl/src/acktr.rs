@@ -1,0 +1,291 @@
+//! ACKTR: actor-critic using Kronecker-factored trust regions
+//! (Wu et al., NeurIPS 2017 [38]) — the paper's training algorithm
+//! (Sec. IV-C2).
+//!
+//! The update is the A2C gradient preconditioned per layer by K-FAC
+//! natural-gradient factors, with the step size rescaled to respect a KL
+//! trust region. The Fisher factors are estimated from gradients sampled
+//! from the model's own predictive distribution: categorical sampling for
+//! the actor, unit-Gaussian sampling for the critic's value head.
+
+use crate::a2c::{actor_critic_gradients, TrainStats};
+use crate::env::Env;
+use crate::rollout::RolloutCollector;
+use dosco_nn::kfac::{Kfac, KfacConfig};
+use dosco_nn::matrix::Matrix;
+use dosco_nn::mlp::Mlp;
+use dosco_nn::Categorical;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// ACKTR hyperparameters (paper values in Sec. V-A2 as defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcktrConfig {
+    /// Discount factor γ (paper: 0.99).
+    pub gamma: f32,
+    /// GAE λ (1.0 = plain n-step returns).
+    pub gae_lambda: f32,
+    /// Natural-gradient learning rate (paper: 0.25).
+    pub lr: f32,
+    /// Entropy bonus coefficient (paper: 0.01).
+    pub ent_coef: f32,
+    /// Value-loss coefficient (paper: 0.25).
+    pub vf_coef: f32,
+    /// Global gradient-norm clip (paper: 0.5).
+    pub max_grad_norm: f32,
+    /// KL trust region (paper: 0.001).
+    pub kl_clip: f32,
+    /// K-FAC damping.
+    pub damping: f64,
+    /// K-FAC factor moving-average decay.
+    pub stat_decay: f32,
+    /// Recompute factor inverses every this many updates.
+    pub inverse_period: u32,
+    /// Steps collected per env per update.
+    pub n_steps: usize,
+    /// Hidden layer sizes (paper: [256, 256]).
+    pub hidden: [usize; 2],
+    /// Normalize advantages per batch.
+    pub normalize_advantages: bool,
+    /// Linearly decay the learning rate to 10 % of its initial value over
+    /// the training horizon (stable-baselines' ACKTR default schedule).
+    pub lr_decay: bool,
+}
+
+impl Default for AcktrConfig {
+    fn default() -> Self {
+        AcktrConfig {
+            gamma: 0.99,
+            gae_lambda: 1.0,
+            lr: 0.25,
+            ent_coef: 0.01,
+            vf_coef: 0.25,
+            max_grad_norm: 0.5,
+            kl_clip: 0.001,
+            damping: 0.01,
+            stat_decay: 0.95,
+            inverse_period: 20,
+            n_steps: 16,
+            hidden: [256, 256],
+            normalize_advantages: false,
+            lr_decay: true,
+        }
+    }
+}
+
+impl AcktrConfig {
+    fn kfac(&self) -> KfacConfig {
+        KfacConfig {
+            lr: self.lr,
+            kl_clip: self.kl_clip,
+            damping: self.damping,
+            stat_decay: self.stat_decay,
+            inverse_period: self.inverse_period,
+            max_grad_norm: self.max_grad_norm,
+        }
+    }
+}
+
+/// The ACKTR agent.
+#[derive(Debug)]
+pub struct Acktr {
+    actor: Mlp,
+    critic: Mlp,
+    actor_kfac: Kfac,
+    critic_kfac: Kfac,
+    config: AcktrConfig,
+    rng: StdRng,
+}
+
+impl Acktr {
+    /// Creates an ACKTR agent with all randomness derived from `seed`.
+    pub fn new(obs_dim: usize, num_actions: usize, config: AcktrConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let actor = Mlp::new(
+            &[obs_dim, config.hidden[0], config.hidden[1], num_actions],
+            dosco_nn::Activation::Tanh,
+            &mut rng,
+        );
+        let critic = Mlp::new(
+            &[obs_dim, config.hidden[0], config.hidden[1], 1],
+            dosco_nn::Activation::Tanh,
+            &mut rng,
+        );
+        let actor_kfac = Kfac::new(&actor, config.kfac());
+        let critic_kfac = Kfac::new(&critic, config.kfac());
+        Acktr {
+            actor,
+            critic,
+            actor_kfac,
+            critic_kfac,
+            config,
+            rng,
+        }
+    }
+
+    /// The actor network (the deployable policy).
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// The critic network.
+    pub fn critic(&self) -> &Mlp {
+        &self.critic
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcktrConfig {
+        &self.config
+    }
+
+    /// Overwrites the current learning rate (external schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.actor_kfac.set_lr(lr);
+        self.critic_kfac.set_lr(lr);
+    }
+
+    /// Greedy (argmax) action for one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs.len()` mismatches the observation dimension.
+    pub fn act_greedy(&self, obs: &[f32]) -> usize {
+        let logits = self.actor.forward(&Matrix::row_vector(obs));
+        Categorical::new(&logits).argmax()[0]
+    }
+
+    /// Trains for (at least) `total_steps` transitions across `envs`
+    /// (Alg. 1 ln. 3–12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `envs` is empty or dimensions mismatch.
+    pub fn train(&mut self, envs: &mut [Box<dyn Env>], total_steps: usize) -> TrainStats {
+        let mut collector = RolloutCollector::new(envs);
+        let mut stats = TrainStats::default();
+        let per_update = self.config.n_steps * envs.len();
+        while stats.total_steps < total_steps {
+            if self.config.lr_decay {
+                let frac = stats.total_steps as f32 / total_steps as f32;
+                let lr = self.config.lr * (1.0 - 0.9 * frac);
+                self.actor_kfac.set_lr(lr);
+                self.critic_kfac.set_lr(lr);
+            }
+            let mut rollout = collector.collect(
+                envs,
+                &self.actor,
+                &self.critic,
+                self.config.n_steps,
+                self.config.gamma,
+                self.config.gae_lambda,
+                &mut self.rng,
+            );
+            if self.config.normalize_advantages {
+                rollout.normalize_advantages();
+            }
+            let (actor_grads, critic_grads, actor_cache, critic_cache) = actor_critic_gradients(
+                &self.actor,
+                &self.critic,
+                &rollout,
+                self.config.ent_coef,
+                self.config.vf_coef,
+            );
+
+            // Fisher factor statistics from model-sampled gradients.
+            let batch = rollout.actions.len();
+            let actor_fisher_out =
+                Categorical::new(&actor_cache.output).fisher_sample_logits(&mut self.rng);
+            let actor_fisher = self.actor.backward(&actor_cache, &actor_fisher_out);
+            let afg: Vec<&Matrix> = actor_fisher.layers.iter().map(|l| &l.preact_grads).collect();
+            self.actor_kfac.update_stats(&actor_cache, &afg);
+
+            // Critic value head: Gaussian likelihood ⇒ Fisher gradient is
+            // standard normal noise (Wu et al., Sec. 3).
+            let critic_fisher_out = Matrix::from_fn(batch, 1, |_, _| {
+                let u1: f32 = self.rng.gen_range(1e-6..1.0f32);
+                let u2: f32 = self.rng.gen();
+                ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos())
+                    / batch as f32
+            });
+            let critic_fisher = self.critic.backward(&critic_cache, &critic_fisher_out);
+            let cfg: Vec<&Matrix> = critic_fisher.layers.iter().map(|l| &l.preact_grads).collect();
+            self.critic_kfac.update_stats(&critic_cache, &cfg);
+
+            // Natural-gradient steps with the trust region.
+            self.actor_kfac
+                .step(&mut self.actor, &actor_grads)
+                .expect("actor K-FAC inversion failed; increase damping");
+            self.critic_kfac
+                .step(&mut self.critic, &critic_grads)
+                .expect("critic K-FAC inversion failed; increase damping");
+
+            stats.mean_rewards.push(rollout.mean_reward());
+            stats.total_steps += per_update;
+        }
+        stats
+    }
+
+    /// Replaces the actor (e.g. loading a saved policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    pub fn set_actor(&mut self, actor: Mlp) {
+        assert_eq!(actor.inputs(), self.actor.inputs(), "obs dim mismatch");
+        assert_eq!(actor.outputs(), self.actor.outputs(), "action dim mismatch");
+        self.actor = actor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::testenvs::Corridor;
+
+    #[test]
+    fn learns_corridor() {
+        let mut envs: Vec<Box<dyn Env>> = (0..4).map(|_| Box::new(Corridor::new(6)) as _).collect();
+        let cfg = AcktrConfig {
+            n_steps: 8,
+            hidden: [32, 32],
+            ..AcktrConfig::default()
+        };
+        let mut agent = Acktr::new(1, 2, cfg, 3);
+        let stats = agent.train(&mut envs, 15_000);
+        for pos in [0.0f32, 0.25, 0.5, 0.75] {
+            assert_eq!(agent.act_greedy(&[pos]), 1, "at pos {pos}");
+        }
+        let early = stats.mean_rewards[..10].iter().sum::<f32>() / 10.0;
+        assert!(stats.tail_mean(10) > early);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let train = |seed| {
+            let mut envs: Vec<Box<dyn Env>> =
+                vec![Box::new(Corridor::new(5)), Box::new(Corridor::new(5))];
+            let cfg = AcktrConfig {
+                hidden: [8, 8],
+                ..AcktrConfig::default()
+            };
+            let mut agent = Acktr::new(1, 2, cfg, seed);
+            agent.train(&mut envs, 400).mean_rewards
+        };
+        assert_eq!(train(7), train(7));
+        assert_ne!(train(7), train(8));
+    }
+
+    #[test]
+    fn paper_defaults_match_section_v() {
+        let cfg = AcktrConfig::default();
+        assert_eq!(cfg.gamma, 0.99);
+        assert_eq!(cfg.lr, 0.25);
+        assert_eq!(cfg.ent_coef, 0.01);
+        assert_eq!(cfg.vf_coef, 0.25);
+        assert_eq!(cfg.max_grad_norm, 0.5);
+        assert_eq!(cfg.kl_clip, 0.001);
+        assert_eq!(cfg.hidden, [256, 256]);
+    }
+}

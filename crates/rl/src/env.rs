@@ -1,0 +1,146 @@
+//! Gym-style environment traits (cf. Sec. IV-C3: the DRL agent interacts
+//! with the network simulator through an OpenAI-Gym-like interface).
+
+/// One transition result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Observation after the step.
+    pub obs: Vec<f32>,
+    /// Reward earned by the step's action.
+    pub reward: f32,
+    /// Whether the episode terminated (the next `reset` starts fresh).
+    pub done: bool,
+}
+
+/// A discrete-action environment.
+///
+/// Observations are fixed-length `f32` vectors (length
+/// [`Env::obs_dim`]); actions are `0..num_actions`.
+pub trait Env: Send {
+    /// Observation vector length.
+    fn obs_dim(&self) -> usize;
+
+    /// Size of the discrete action space.
+    fn num_actions(&self) -> usize;
+
+    /// Starts a new episode and returns the initial observation.
+    fn reset(&mut self) -> Vec<f32>;
+
+    /// Applies `action` and advances to the next decision point.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= num_actions()` or if called
+    /// after `done` without `reset`.
+    fn step(&mut self, action: usize) -> StepResult;
+}
+
+/// A continuous-action environment (for DDPG). Actions are `f32` vectors
+/// with components in `[-1, 1]`; environments rescale internally.
+pub trait ContinuousEnv: Send {
+    /// Observation vector length.
+    fn obs_dim(&self) -> usize;
+
+    /// Action vector length.
+    fn action_dim(&self) -> usize;
+
+    /// Starts a new episode and returns the initial observation.
+    fn reset(&mut self) -> Vec<f32>;
+
+    /// Applies `action` (components in `[-1, 1]`).
+    fn step(&mut self, action: &[f32]) -> StepResult;
+}
+
+#[cfg(test)]
+pub(crate) mod testenvs {
+    //! Tiny environments with known optimal policies, reused by the
+    //! algorithm tests.
+
+    use super::*;
+
+    /// A 1-D corridor: positions 0..n-1, start at 0, goal at n-1.
+    /// Action 0 = left (or stay), 1 = right. Reward −0.01 per step,
+    /// +1 at the goal. Optimal: always right.
+    #[derive(Debug)]
+    pub struct Corridor {
+        pub n: usize,
+        pub pos: usize,
+        pub steps: usize,
+        pub max_steps: usize,
+    }
+
+    impl Corridor {
+        pub fn new(n: usize) -> Self {
+            Corridor {
+                n,
+                pos: 0,
+                steps: 0,
+                max_steps: 4 * n,
+            }
+        }
+
+        fn obs(&self) -> Vec<f32> {
+            vec![self.pos as f32 / (self.n - 1) as f32]
+        }
+    }
+
+    impl Env for Corridor {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+
+        fn num_actions(&self) -> usize {
+            2
+        }
+
+        fn reset(&mut self) -> Vec<f32> {
+            self.pos = 0;
+            self.steps = 0;
+            self.obs()
+        }
+
+        fn step(&mut self, action: usize) -> StepResult {
+            assert!(action < 2, "corridor has two actions");
+            self.steps += 1;
+            if action == 1 {
+                self.pos = (self.pos + 1).min(self.n - 1);
+            } else {
+                self.pos = self.pos.saturating_sub(1);
+            }
+            let done = self.pos == self.n - 1 || self.steps >= self.max_steps;
+            let reward = if self.pos == self.n - 1 { 1.0 } else { -0.01 };
+            let obs = if done { self.reset() } else { self.obs() };
+            StepResult { obs, reward, done }
+        }
+    }
+
+    /// Continuous target-matching: reward −(a − target(obs))², episode of
+    /// one step. Optimal action = target.
+    #[derive(Debug)]
+    pub struct TargetMatch {
+        pub target: f32,
+    }
+
+    impl ContinuousEnv for TargetMatch {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+
+        fn action_dim(&self) -> usize {
+            1
+        }
+
+        fn reset(&mut self) -> Vec<f32> {
+            vec![self.target]
+        }
+
+        fn step(&mut self, action: &[f32]) -> StepResult {
+            let d = action[0] - self.target;
+            StepResult {
+                obs: vec![self.target],
+                reward: -d * d,
+                done: true,
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Proximal policy optimization with a clipped surrogate objective
+//! (Schulman et al. [41]).
+//!
+//! The paper cites PPO alongside TRPO as the family of gradual-update
+//! policy-gradient methods that ACKTR belongs to; this implementation
+//! serves as the ablation alternative to ACKTR's natural gradient.
+
+use crate::a2c::TrainStats;
+use crate::env::Env;
+use crate::rollout::RolloutCollector;
+use dosco_nn::matrix::Matrix;
+use dosco_nn::mlp::Mlp;
+use dosco_nn::optim::{Adam, Optimizer};
+use dosco_nn::Categorical;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// PPO hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE λ.
+    pub gae_lambda: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Clip range ε.
+    pub clip: f32,
+    /// Entropy bonus coefficient.
+    pub ent_coef: f32,
+    /// Value-loss coefficient.
+    pub vf_coef: f32,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+    /// Steps collected per env per update.
+    pub n_steps: usize,
+    /// Optimization epochs per collected batch.
+    pub epochs: usize,
+    /// Hidden layer sizes.
+    pub hidden: [usize; 2],
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            lr: 3e-3,
+            clip: 0.2,
+            ent_coef: 0.01,
+            vf_coef: 0.5,
+            max_grad_norm: 0.5,
+            n_steps: 32,
+            epochs: 4,
+            hidden: [64, 64],
+        }
+    }
+}
+
+/// The PPO agent.
+#[derive(Debug)]
+pub struct Ppo {
+    actor: Mlp,
+    critic: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    config: PpoConfig,
+    rng: StdRng,
+}
+
+/// Gradient of the clipped surrogate + entropy loss w.r.t. the logits.
+///
+/// `L = −(1/B) Σ [ min(ρ·A, clip(ρ, 1±ε)·A) + β·H ]` with
+/// `ρ = π(a)/π_old(a)`. The gradient of the min term is
+/// `ρ·A · ∇log π(a)` when the unclipped branch is active, else zero.
+pub(crate) fn ppo_logit_gradients(
+    dist: &Categorical,
+    actions: &[usize],
+    advantages: &[f32],
+    old_log_probs: &[f32],
+    clip: f32,
+    ent_coef: f32,
+) -> Matrix {
+    let b = actions.len() as f32;
+    let lp = dist.log_prob(actions);
+    let entropies = dist.entropy();
+    let probs = dist.probs();
+    let k = dist.num_actions();
+    let mut out = Matrix::zeros(actions.len(), k);
+    for r in 0..actions.len() {
+        let ratio = (lp[r] - old_log_probs[r]).exp();
+        let adv = advantages[r];
+        // Unclipped branch active iff ρ·A ≤ clip(ρ)·A.
+        let clipped_ratio = ratio.clamp(1.0 - clip, 1.0 + clip);
+        let active = ratio * adv <= clipped_ratio * adv + 1e-12;
+        let h = entropies[r];
+        let row = out.row_mut(r);
+        for j in 0..k {
+            let p = probs.get(r, j);
+            let onehot = if j == actions[r] { 1.0 } else { 0.0 };
+            // ∇logits of −ρ·A·log-prob term: ρ·A·(π − onehot).
+            let pg = if active { ratio * adv * (p - onehot) } else { 0.0 };
+            // Entropy ascent (loss includes −β·H): β·π(logπ + H).
+            let lpj = if p > 0.0 { p.ln() } else { 0.0 };
+            let ent = ent_coef * p * (lpj + h);
+            row[j] = (pg + ent) / b;
+        }
+    }
+    out
+}
+
+impl Ppo {
+    /// Creates a PPO agent with all randomness derived from `seed`.
+    pub fn new(obs_dim: usize, num_actions: usize, config: PpoConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let actor = Mlp::new(
+            &[obs_dim, config.hidden[0], config.hidden[1], num_actions],
+            dosco_nn::Activation::Tanh,
+            &mut rng,
+        );
+        let critic = Mlp::new(
+            &[obs_dim, config.hidden[0], config.hidden[1], 1],
+            dosco_nn::Activation::Tanh,
+            &mut rng,
+        );
+        Ppo {
+            actor,
+            critic,
+            actor_opt: Adam::with_lr(config.lr),
+            critic_opt: Adam::with_lr(config.lr),
+            config,
+            rng,
+        }
+    }
+
+    /// The actor network.
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// Overwrites the current learning rate (external schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.actor_opt.set_learning_rate(lr);
+        self.critic_opt.set_learning_rate(lr);
+    }
+
+    /// Greedy action for one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn act_greedy(&self, obs: &[f32]) -> usize {
+        Categorical::new(&self.actor.forward(&Matrix::row_vector(obs))).argmax()[0]
+    }
+
+    /// Trains for (at least) `total_steps` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `envs` is empty or dimensions mismatch.
+    pub fn train(&mut self, envs: &mut [Box<dyn Env>], total_steps: usize) -> TrainStats {
+        let mut collector = RolloutCollector::new(envs);
+        let mut stats = TrainStats::default();
+        let per_update = self.config.n_steps * envs.len();
+        while stats.total_steps < total_steps {
+            let mut rollout = collector.collect(
+                envs,
+                &self.actor,
+                &self.critic,
+                self.config.n_steps,
+                self.config.gamma,
+                self.config.gae_lambda,
+                &mut self.rng,
+            );
+            rollout.normalize_advantages();
+            // Old log-probs under the collection policy.
+            let old_lp = Categorical::new(&self.actor.forward(&rollout.obs))
+                .log_prob(&rollout.actions);
+            let batch = rollout.actions.len() as f32;
+            for _ in 0..self.config.epochs {
+                let actor_cache = self.actor.forward_cached(&rollout.obs);
+                let dist = Categorical::new(&actor_cache.output);
+                let dlogits = ppo_logit_gradients(
+                    &dist,
+                    &rollout.actions,
+                    &rollout.advantages,
+                    &old_lp,
+                    self.config.clip,
+                    self.config.ent_coef,
+                );
+                let mut actor_grads = self.actor.backward(&actor_cache, &dlogits);
+                actor_grads.clip_global_norm(self.config.max_grad_norm);
+                self.actor_opt.step(&mut self.actor, &actor_grads);
+
+                let critic_cache = self.critic.forward_cached(&rollout.obs);
+                let mut dv = Matrix::zeros(rollout.actions.len(), 1);
+                for i in 0..rollout.actions.len() {
+                    dv.set(
+                        i,
+                        0,
+                        self.config.vf_coef * (critic_cache.output.get(i, 0) - rollout.returns[i])
+                            / batch,
+                    );
+                }
+                let mut critic_grads = self.critic.backward(&critic_cache, &dv);
+                critic_grads.clip_global_norm(self.config.max_grad_norm);
+                self.critic_opt.step(&mut self.critic, &critic_grads);
+            }
+            stats.mean_rewards.push(rollout.mean_reward());
+            stats.total_steps += per_update;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::testenvs::Corridor;
+
+    #[test]
+    fn learns_corridor() {
+        let mut envs: Vec<Box<dyn Env>> = (0..4).map(|_| Box::new(Corridor::new(6)) as _).collect();
+        let cfg = PpoConfig {
+            hidden: [32, 32],
+            ..PpoConfig::default()
+        };
+        let mut agent = Ppo::new(1, 2, cfg, 3);
+        agent.train(&mut envs, 20_000);
+        for pos in [0.0f32, 0.25, 0.5, 0.75] {
+            assert_eq!(agent.act_greedy(&[pos]), 1, "at pos {pos}");
+        }
+    }
+
+    /// The PPO logit gradient reduces to the vanilla policy gradient when
+    /// old == new policy (ρ = 1, unclipped).
+    #[test]
+    fn gradient_matches_pg_at_ratio_one() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.2, 0.8]]);
+        let dist = Categorical::new(&logits);
+        let actions = [1usize];
+        let advs = [0.7f32];
+        let old_lp = dist.log_prob(&actions);
+        let ppo_grad = ppo_logit_gradients(&dist, &actions, &advs, &old_lp, 0.2, 0.01);
+        let pg_grad = dist.policy_gradient_logits(&actions, &advs, 0.01);
+        for j in 0..3 {
+            assert!(
+                (ppo_grad.get(0, j) - pg_grad.get(0, j)).abs() < 1e-6,
+                "logit {j}"
+            );
+        }
+    }
+
+    /// Once the ratio exceeds 1+ε with positive advantage, the policy
+    /// gradient contribution vanishes (only entropy remains).
+    #[test]
+    fn gradient_clips_large_ratios() {
+        let logits = Matrix::from_rows(&[&[2.0, 0.0]]);
+        let dist = Categorical::new(&logits);
+        let actions = [0usize];
+        let advs = [1.0f32];
+        // Pretend the old policy gave this action much lower probability.
+        let old_lp = [dist.log_prob(&actions)[0] - 1.0]; // ratio = e ≈ 2.72
+        let grad = ppo_logit_gradients(&dist, &actions, &advs, &old_lp, 0.2, 0.0);
+        assert_eq!(grad.get(0, 0), 0.0);
+        assert_eq!(grad.get(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Learning-rate schedules.
+//!
+//! The algorithms accept an external schedule via their `set_lr` methods;
+//! this module provides the standard shapes (stable-baselines ships the
+//! same set for ACKTR/A2C).
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule over training progress `frac ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant,
+    /// Linear decay from the base rate to `final_fraction` of it.
+    Linear {
+        /// Fraction of the base rate remaining at the end of training.
+        final_fraction: f32,
+    },
+    /// Half-cosine decay from the base rate to `final_fraction` of it.
+    Cosine {
+        /// Fraction of the base rate remaining at the end of training.
+        final_fraction: f32,
+    },
+    /// Piecewise-constant steps: full rate, then multiplied by `factor`
+    /// at every boundary in `at` (fractions of training progress).
+    Step {
+        /// Multiplier applied at each boundary.
+        factor: f32,
+        /// Boundary at which the first step happens, in `[0, 1]`.
+        first_at: f32,
+        /// Distance between subsequent boundaries.
+        every: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at progress `frac ∈ [0, 1]`, for base rate `lr`.
+    ///
+    /// Out-of-range `frac` is clamped.
+    pub fn at(&self, lr: f32, frac: f32) -> f32 {
+        let frac = frac.clamp(0.0, 1.0);
+        match *self {
+            LrSchedule::Constant => lr,
+            LrSchedule::Linear { final_fraction } => {
+                lr * (1.0 - (1.0 - final_fraction) * frac)
+            }
+            LrSchedule::Cosine { final_fraction } => {
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * frac).cos());
+                lr * (final_fraction + (1.0 - final_fraction) * cos)
+            }
+            LrSchedule::Step {
+                factor,
+                first_at,
+                every,
+            } => {
+                if frac < first_at || every <= 0.0 {
+                    if frac < first_at {
+                        lr
+                    } else {
+                        lr * factor
+                    }
+                } else {
+                    let steps = 1 + ((frac - first_at) / every) as u32;
+                    lr * factor.powi(steps as i32)
+                }
+            }
+        }
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Linear {
+            final_fraction: 0.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.at(0.25, 0.0), 0.25);
+        assert_eq!(s.at(0.25, 1.0), 0.25);
+    }
+
+    #[test]
+    fn linear_endpoints() {
+        let s = LrSchedule::Linear { final_fraction: 0.1 };
+        assert_eq!(s.at(1.0, 0.0), 1.0);
+        assert!((s.at(1.0, 1.0) - 0.1).abs() < 1e-6);
+        assert!((s.at(1.0, 0.5) - 0.55).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_monotone_and_bounded() {
+        let s = LrSchedule::Cosine { final_fraction: 0.0 };
+        let mut prev = s.at(1.0, 0.0);
+        assert!((prev - 1.0).abs() < 1e-6);
+        for i in 1..=10 {
+            let cur = s.at(1.0, i as f32 / 10.0);
+            assert!(cur <= prev + 1e-6, "not monotone at {i}");
+            prev = cur;
+        }
+        assert!(prev.abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_applies_factor_at_boundaries() {
+        let s = LrSchedule::Step {
+            factor: 0.5,
+            first_at: 0.5,
+            every: 0.25,
+        };
+        assert_eq!(s.at(1.0, 0.4), 1.0);
+        assert_eq!(s.at(1.0, 0.5), 0.5);
+        assert_eq!(s.at(1.0, 0.76), 0.25);
+    }
+
+    #[test]
+    fn clamps_out_of_range_progress() {
+        let s = LrSchedule::default();
+        assert_eq!(s.at(1.0, -1.0), s.at(1.0, 0.0));
+        assert_eq!(s.at(1.0, 2.0), s.at(1.0, 1.0));
+    }
+}

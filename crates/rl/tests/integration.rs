@@ -1,0 +1,165 @@
+//! Cross-algorithm integration tests on small environments with known
+//! optimal policies.
+
+use dosco_rl::a2c::{A2c, A2cConfig};
+use dosco_rl::acktr::{Acktr, AcktrConfig};
+use dosco_rl::env::{Env, StepResult};
+use dosco_rl::ppo::{Ppo, PpoConfig};
+
+/// Contextual bandit: the observation names the rewarded action.
+/// Optimal policy: copy the observation.
+#[derive(Debug)]
+struct Mimic {
+    k: usize,
+    target: usize,
+    t: usize,
+}
+
+impl Mimic {
+    fn new(k: usize) -> Self {
+        Mimic { k, target: 0, t: 0 }
+    }
+
+    fn obs(&self) -> Vec<f32> {
+        let mut o = vec![0.0; self.k];
+        o[self.target] = 1.0;
+        o
+    }
+}
+
+impl Env for Mimic {
+    fn obs_dim(&self) -> usize {
+        self.k
+    }
+
+    fn num_actions(&self) -> usize {
+        self.k
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.t = 0;
+        self.target = 0;
+        self.obs()
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        let reward = if action == self.target { 1.0 } else { -0.2 };
+        self.t += 1;
+        // Deterministic cycling context.
+        self.target = (self.target + 7) % self.k;
+        StepResult {
+            obs: self.obs(),
+            reward,
+            done: self.t % 32 == 0,
+        }
+    }
+}
+
+/// Asserts at least `min_pct` percent of contexts map to their optimal
+/// action (chance level is 100/k ≈ 20 %).
+fn assert_learned_mimic(act: impl Fn(&[f32]) -> usize, k: usize, min_pct: usize, label: &str) {
+    let mut correct = 0;
+    for target in 0..k {
+        let mut obs = vec![0.0; k];
+        obs[target] = 1.0;
+        if act(&obs) == target {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct * 100 >= k * min_pct,
+        "{label}: only {correct}/{k} contexts learned (need {min_pct}%)"
+    );
+}
+
+#[test]
+fn a2c_learns_contextual_bandit() {
+    let mut envs: Vec<Box<dyn Env>> = (0..4).map(|_| Box::new(Mimic::new(5)) as _).collect();
+    let mut agent = A2c::new(
+        5,
+        5,
+        A2cConfig {
+            lr: 0.02,
+            hidden: [24, 24],
+            gamma: 0.0,
+            ..A2cConfig::default()
+        },
+        1,
+    );
+    agent.train(&mut envs, 12_000);
+    // A2C is the weakest of the three here (plain gradient); require a
+    // clear majority rather than near-perfection.
+    assert_learned_mimic(|o| agent.act_greedy(o), 5, 60, "a2c");
+}
+
+#[test]
+fn acktr_learns_contextual_bandit() {
+    let mut envs: Vec<Box<dyn Env>> = (0..4).map(|_| Box::new(Mimic::new(5)) as _).collect();
+    let mut agent = Acktr::new(
+        5,
+        5,
+        AcktrConfig {
+            hidden: [24, 24],
+            gamma: 0.0,
+            ..AcktrConfig::default()
+        },
+        1,
+    );
+    agent.train(&mut envs, 12_000);
+    assert_learned_mimic(|o| agent.act_greedy(o), 5, 80, "acktr");
+}
+
+#[test]
+fn ppo_learns_contextual_bandit() {
+    let mut envs: Vec<Box<dyn Env>> = (0..4).map(|_| Box::new(Mimic::new(5)) as _).collect();
+    let mut agent = Ppo::new(
+        5,
+        5,
+        PpoConfig {
+            hidden: [24, 24],
+            gamma: 0.0,
+            ..PpoConfig::default()
+        },
+        1,
+    );
+    agent.train(&mut envs, 16_000);
+    assert_learned_mimic(|o| agent.act_greedy(o), 5, 80, "ppo");
+}
+
+#[test]
+fn training_reward_improves_for_all_algorithms() {
+    // The mean batch reward must improve from the first to the last tenth
+    // of training for every algorithm on the same task.
+    let run = |name: &str, rewards: Vec<f32>| {
+        let n = rewards.len();
+        let first: f32 = rewards[..n / 10].iter().sum::<f32>() / (n / 10) as f32;
+        let last: f32 = rewards[n - n / 10..].iter().sum::<f32>() / (n / 10) as f32;
+        assert!(last > first, "{name}: {first} -> {last}");
+    };
+    let mut envs: Vec<Box<dyn Env>> = (0..2).map(|_| Box::new(Mimic::new(4)) as _).collect();
+    let mut a2c = A2c::new(
+        4,
+        4,
+        A2cConfig {
+            lr: 0.02,
+            hidden: [16, 16],
+            gamma: 0.0,
+            ..A2cConfig::default()
+        },
+        3,
+    );
+    run("a2c", a2c.train(&mut envs, 10_000).mean_rewards);
+
+    let mut envs: Vec<Box<dyn Env>> = (0..2).map(|_| Box::new(Mimic::new(4)) as _).collect();
+    let mut acktr = Acktr::new(
+        4,
+        4,
+        AcktrConfig {
+            hidden: [16, 16],
+            gamma: 0.0,
+            ..AcktrConfig::default()
+        },
+        3,
+    );
+    run("acktr", acktr.train(&mut envs, 10_000).mean_rewards);
+}

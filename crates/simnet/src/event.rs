@@ -1,0 +1,361 @@
+//! The simulator's event queue and the public event stream.
+
+use crate::flow::FlowId;
+use crate::service::ComponentId;
+use dosco_topology::{LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Why a flow was dropped (Sec. III / IV-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Processing the flow would exceed the node's compute capacity.
+    NodeCapacity,
+    /// Forwarding the flow would exceed the link's data-rate capacity.
+    LinkCapacity,
+    /// The flow's deadline `τ_f` expired.
+    DeadlineExpired,
+    /// The agent selected a non-existing neighbor (action `a > |V_v|`).
+    InvalidAction,
+}
+
+impl DropReason {
+    /// All drop reasons, for iteration in metrics reports.
+    pub const ALL: [DropReason; 4] = [
+        DropReason::NodeCapacity,
+        DropReason::LinkCapacity,
+        DropReason::DeadlineExpired,
+        DropReason::InvalidAction,
+    ];
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DropReason::NodeCapacity => "node-capacity",
+            DropReason::LinkCapacity => "link-capacity",
+            DropReason::DeadlineExpired => "deadline-expired",
+            DropReason::InvalidAction => "invalid-action",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Public notifications emitted by the simulator, consumed by reward
+/// functions (Sec. IV-B3), metrics, and logging.
+///
+/// All times are absolute simulation times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A new flow entered the network at its ingress.
+    FlowArrived {
+        /// The flow.
+        flow: FlowId,
+        /// Ingress node.
+        node: NodeId,
+        /// Arrival time.
+        time: f64,
+    },
+    /// A flow departed successfully at its egress within its deadline.
+    FlowCompleted {
+        /// The flow.
+        flow: FlowId,
+        /// Completion time.
+        time: f64,
+        /// End-to-end delay `d_f = t_f^out − t_f^in`.
+        e2e_delay: f64,
+        /// The node where the last action on this flow was taken.
+        node: NodeId,
+    },
+    /// A flow was dropped.
+    FlowDropped {
+        /// The flow.
+        flow: FlowId,
+        /// Drop time.
+        time: f64,
+        /// Why.
+        reason: DropReason,
+        /// The node responsible for (or observing) the drop.
+        node: NodeId,
+    },
+    /// A flow finished processing at an instance (basis for the `+1/n_s`
+    /// shaping reward).
+    InstanceTraversed {
+        /// The flow.
+        flow: FlowId,
+        /// Hosting node.
+        node: NodeId,
+        /// The traversed component.
+        component: ComponentId,
+        /// Length of the flow's service chain `n_{s_f}`.
+        service_len: usize,
+        /// Completion time of the processing.
+        time: f64,
+    },
+    /// A flow was forwarded over a link (basis for the `−d_l / D_G`
+    /// shaping penalty).
+    Forwarded {
+        /// The flow.
+        flow: FlowId,
+        /// Sending node.
+        from: NodeId,
+        /// Receiving neighbor.
+        to: NodeId,
+        /// The link used.
+        link: LinkId,
+        /// The link's propagation delay `d_l`.
+        link_delay: f64,
+        /// Forwarding time.
+        time: f64,
+    },
+    /// A fully processed flow was held at a node for one time step (basis
+    /// for the `−1 / D_G` shaping penalty).
+    Held {
+        /// The flow.
+        flow: FlowId,
+        /// The holding node.
+        node: NodeId,
+        /// Hold time.
+        time: f64,
+    },
+    /// A new component instance was placed (`x_{c,v} := 1`).
+    InstanceStarted {
+        /// Hosting node.
+        node: NodeId,
+        /// Component.
+        component: ComponentId,
+        /// Placement time.
+        time: f64,
+    },
+    /// An idle component instance was removed after its timeout.
+    InstanceStopped {
+        /// Hosting node.
+        node: NodeId,
+        /// Component.
+        component: ComponentId,
+        /// Removal time.
+        time: f64,
+    },
+}
+
+impl SimEvent {
+    /// The flow this event concerns, if any.
+    pub fn flow(&self) -> Option<FlowId> {
+        match self {
+            SimEvent::FlowArrived { flow, .. }
+            | SimEvent::FlowCompleted { flow, .. }
+            | SimEvent::FlowDropped { flow, .. }
+            | SimEvent::InstanceTraversed { flow, .. }
+            | SimEvent::Forwarded { flow, .. }
+            | SimEvent::Held { flow, .. } => Some(*flow),
+            SimEvent::InstanceStarted { .. } | SimEvent::InstanceStopped { .. } => None,
+        }
+    }
+}
+
+/// Internal scheduler events.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum QueuedEvent {
+    /// The `idx`-th ingress spec generates its next flow.
+    Arrival { ingress_idx: usize },
+    /// A flow's head is at a node and needs a coordination decision.
+    Decision { flow: FlowId },
+    /// A flow finishes processing its current component.
+    ProcessingDone {
+        flow: FlowId,
+        node: NodeId,
+        component: ComponentId,
+    },
+    /// Node resources reserved for a flow's processing are released (the
+    /// flow's tail has left the instance).
+    ReleaseNode {
+        node: NodeId,
+        component: ComponentId,
+        amount: f64,
+    },
+    /// Link capacity reserved for a flow traversal is released.
+    ReleaseLink { link: LinkId, amount: f64 },
+    /// Check whether an instance has been idle for its full timeout.
+    InstanceTimeout { node: NodeId, component: ComponentId },
+}
+
+/// A strictly ordered simulation timestamp. Construction validates against
+/// NaN so the event queue's ordering is total.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub(crate) struct SimTime(f64);
+
+impl SimTime {
+    pub(crate) fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "simulation time must not be NaN");
+        SimTime(t)
+    }
+
+    pub(crate) fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is never NaN by construction")
+    }
+}
+
+/// Heap entry: earliest time pops first; FIFO (by insertion sequence) among
+/// equal times for determinism.
+#[derive(Debug)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: QueuedEvent,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behavior on BinaryHeap (a max-heap).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub(crate) fn push(&mut self, time: f64, event: QueuedEvent) {
+        let entry = Entry {
+            time: SimTime::new(time),
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Pops the earliest event (FIFO among ties).
+    pub(crate) fn pop(&mut self) -> Option<(f64, QueuedEvent)> {
+        self.heap.pop().map(|e| (e.time.value(), e.event))
+    }
+
+    /// The time of the earliest queued event.
+    pub(crate) fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time.value())
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker(i: usize) -> QueuedEvent {
+        QueuedEvent::Arrival { ingress_idx: i }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, marker(3));
+        q.push(1.0, marker(1));
+        q.push(2.0, marker(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        q.push(5.0, marker(0));
+        q.push(5.0, marker(1));
+        q.push(5.0, marker(2));
+        let order: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                QueuedEvent::Arrival { ingress_idx } => ingress_idx,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(2.5, marker(0));
+        q.push(1.5, marker(1));
+        assert_eq!(q.peek_time(), Some(1.5));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(2.5));
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, marker(0));
+    }
+
+    #[test]
+    fn drop_reason_display() {
+        assert_eq!(DropReason::NodeCapacity.to_string(), "node-capacity");
+        assert_eq!(DropReason::ALL.len(), 4);
+    }
+
+    #[test]
+    fn sim_event_flow_accessor() {
+        let e = SimEvent::FlowArrived {
+            flow: FlowId(3),
+            node: NodeId(0),
+            time: 0.0,
+        };
+        assert_eq!(e.flow(), Some(FlowId(3)));
+        let e2 = SimEvent::InstanceStarted {
+            node: NodeId(0),
+            component: ComponentId(0),
+            time: 0.0,
+        };
+        assert_eq!(e2.flow(), None);
+    }
+}

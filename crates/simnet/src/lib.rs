@@ -1,0 +1,62 @@
+//! Discrete-event flow-level network simulator for online service
+//! coordination.
+//!
+//! This crate is the Rust counterpart of the paper's `coord-sim` substrate
+//! (Sec. IV-C3): it simulates a substrate network processing many partially
+//! overlapping flows through chained service components, under the fluid
+//! model of Sec. III:
+//!
+//! - flows arrive at ingress nodes following a configurable
+//!   [`dosco_traffic::ArrivalPattern`],
+//! - whenever a flow's head arrives at a node (or finishes a component), the
+//!   node must decide to process it locally or forward it to a neighbor —
+//!   the simulator surfaces these moments as [`DecisionPoint`]s and a
+//!   [`Coordinator`] answers with an [`Action`],
+//! - processing a flow occupies `r_c(λ_f)` node capacity from processing
+//!   start until the flow's tail leaves the instance; forwarding occupies
+//!   `λ_f` link capacity for the link traversal,
+//! - capacity violations, invalid actions, and expired deadlines drop the
+//!   flow; reaching the egress fully processed within the deadline is a
+//!   success (objective `o_f`, Eq. 1),
+//! - component instances are created implicitly by the first local
+//!   processing (scaling/placement derived from scheduling, Sec. IV-A),
+//!   pay a startup delay, and are reaped after an idle timeout.
+//!
+//! The simulator is policy-agnostic and supports both control styles:
+//! *inversion of control* via [`Simulation::run`] with a [`Coordinator`]
+//! (heuristics, deployed agents) and *step-wise control* via
+//! [`Simulation::next_decision`] / [`Simulation::apply`] (RL training
+//! loops). All activity is also reported as a stream of [`SimEvent`]s so
+//! reward functions can be computed outside the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use dosco_simnet::{coordinator::AlwaysLocal, ScenarioConfig, Simulation};
+//!
+//! let config = ScenarioConfig::paper_base(2); // Abilene, 2 ingress nodes
+//! let mut sim = Simulation::new(config, 7);
+//! let metrics = sim.run(&mut AlwaysLocal).clone();
+//! assert!(metrics.arrived > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod coordinator;
+pub mod event;
+pub mod flow;
+pub mod journey;
+pub mod metrics;
+pub mod probe;
+pub mod service;
+pub mod sim;
+
+pub use config::{IngressSpec, ScenarioConfig};
+pub use coordinator::{Action, Coordinator, DecisionPoint};
+pub use event::{DropReason, SimEvent};
+pub use flow::{Flow, FlowId};
+pub use metrics::Metrics;
+pub use service::{Component, ComponentId, Service, ServiceCatalog, ServiceId};
+pub use sim::Simulation;

@@ -1,0 +1,120 @@
+//! Aggregate metrics: the objective `o_f` (Eq. 1) and supporting counters.
+
+use crate::event::DropReason;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters collected over one simulation episode.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Flows that entered the network.
+    pub arrived: u64,
+    /// Flows completed successfully (`F_succ`).
+    pub completed: u64,
+    /// Flows dropped (`F_drop`), by reason.
+    pub dropped: HashMap<DropReason, u64>,
+    /// Sum of end-to-end delays of completed flows (for the Fig. 7 average).
+    pub e2e_delay_sum: f64,
+    /// Coordination decisions taken by agents.
+    pub decisions: u64,
+    /// Flows processed locally (per-component processings).
+    pub processings: u64,
+    /// Forwarding actions over links.
+    pub forwards: u64,
+    /// Hold actions on fully processed flows.
+    pub holds: u64,
+    /// Component instances started.
+    pub instances_started: u64,
+    /// Component instances stopped after idling.
+    pub instances_stopped: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Total dropped flows `|F_drop|`.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Dropped flows for one reason.
+    pub fn dropped_for(&self, reason: DropReason) -> u64 {
+        self.dropped.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Records one dropped flow (used by the simulator; public so test
+    /// fixtures and aggregation code can build metrics).
+    pub fn record_drop(&mut self, reason: DropReason) {
+        *self.dropped.entry(reason).or_insert(0) += 1;
+    }
+
+    /// The paper's objective `o_f = |F_succ| / (|F_succ| + |F_drop|)`
+    /// (Eq. 1). Flows still in flight at the horizon count for neither.
+    ///
+    /// Returns 1.0 when no flow has terminated yet (vacuous success).
+    pub fn success_ratio(&self) -> f64 {
+        let terminated = self.completed + self.dropped_total();
+        if terminated == 0 {
+            1.0
+        } else {
+            self.completed as f64 / terminated as f64
+        }
+    }
+
+    /// Average end-to-end delay `d_f` of completed flows (Fig. 7), or
+    /// `None` if no flow completed.
+    pub fn avg_e2e_delay(&self) -> Option<f64> {
+        if self.completed == 0 {
+            None
+        } else {
+            Some(self.e2e_delay_sum / self.completed as f64)
+        }
+    }
+
+    /// Flows neither completed nor dropped (still in flight at horizon).
+    pub fn in_flight(&self) -> u64 {
+        self.arrived - self.completed - self.dropped_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_ratio_counts_only_terminated() {
+        let mut m = Metrics::new();
+        assert_eq!(m.success_ratio(), 1.0);
+        m.arrived = 10;
+        m.completed = 6;
+        m.record_drop(DropReason::LinkCapacity);
+        m.record_drop(DropReason::LinkCapacity);
+        assert_eq!(m.dropped_total(), 2);
+        assert_eq!(m.dropped_for(DropReason::LinkCapacity), 2);
+        assert_eq!(m.dropped_for(DropReason::NodeCapacity), 0);
+        assert!((m.success_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(m.in_flight(), 2);
+    }
+
+    #[test]
+    fn avg_delay() {
+        let mut m = Metrics::new();
+        assert_eq!(m.avg_e2e_delay(), None);
+        m.completed = 2;
+        m.e2e_delay_sum = 42.0;
+        assert_eq!(m.avg_e2e_delay(), Some(21.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = Metrics::new();
+        m.arrived = 3;
+        m.record_drop(DropReason::InvalidAction);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Metrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,206 @@
+//! Utilization probing: time-series recording of node/link utilization
+//! and live-flow counts while any coordinator runs.
+//!
+//! Wrap a coordinator in a [`Probe`] to sample the network state at a
+//! fixed period — the raw material for utilization plots, bottleneck
+//! analysis, and load-balance diagnostics that the figures aggregate away.
+
+use crate::coordinator::{Action, Coordinator, DecisionPoint};
+use crate::sim::Simulation;
+use serde::{Deserialize, Serialize};
+
+/// One utilization sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Sample time.
+    pub time: f64,
+    /// Per-node utilization fraction `r_v(t) / cap_v` (1.0 for zero-
+    /// capacity nodes).
+    pub node_util: Vec<f64>,
+    /// Per-link utilization fraction `r_l(t) / cap_l`.
+    pub link_util: Vec<f64>,
+    /// Flows currently in the network.
+    pub live_flows: usize,
+    /// Placed component instances.
+    pub instances: usize,
+}
+
+/// Records [`Sample`]s at a fixed period while delegating all decisions to
+/// an inner coordinator.
+///
+/// # Example
+///
+/// ```
+/// use dosco_simnet::{coordinator::AlwaysLocal, probe::Probe, ScenarioConfig, Simulation};
+///
+/// let mut probe = Probe::new(AlwaysLocal, 50.0);
+/// let mut sim = Simulation::new(ScenarioConfig::paper_base(1).with_horizon(500.0), 1);
+/// sim.run(&mut probe);
+/// assert!(!probe.samples().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Probe<C> {
+    inner: C,
+    period: f64,
+    next_sample: f64,
+    samples: Vec<Sample>,
+}
+
+impl<C> Probe<C> {
+    /// Wraps `inner`, sampling every `period` time units (at the first
+    /// decision at or after each boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not finite and positive.
+    pub fn new(inner: C, period: f64) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "sample period must be finite and positive, got {period}"
+        );
+        Probe {
+            inner,
+            period,
+            next_sample: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The wrapped coordinator.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwraps into the inner coordinator and the samples.
+    pub fn into_parts(self) -> (C, Vec<Sample>) {
+        (self.inner, self.samples)
+    }
+
+    /// Peak node utilization across all samples and nodes.
+    pub fn peak_node_utilization(&self) -> f64 {
+        self.samples
+            .iter()
+            .flat_map(|s| s.node_util.iter().copied())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean node utilization across all samples and nodes.
+    pub fn mean_node_utilization(&self) -> f64 {
+        let (sum, count) = self
+            .samples
+            .iter()
+            .flat_map(|s| s.node_util.iter().copied())
+            .fold((0.0, 0usize), |(s, c), v| (s + v, c + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    fn take_sample(&mut self, sim: &Simulation) {
+        let topo = sim.topology();
+        let node_util = topo
+            .node_ids()
+            .map(|v| {
+                let cap = topo.node(v).capacity;
+                if cap <= 0.0 {
+                    1.0
+                } else {
+                    (sim.node_used(v) / cap).clamp(0.0, 1.0)
+                }
+            })
+            .collect();
+        let link_util = topo
+            .link_ids()
+            .map(|l| {
+                let cap = topo.link(l).capacity;
+                if cap <= 0.0 {
+                    1.0
+                } else {
+                    (sim.link_used(l) / cap).clamp(0.0, 1.0)
+                }
+            })
+            .collect();
+        self.samples.push(Sample {
+            time: sim.time(),
+            node_util,
+            link_util,
+            live_flows: sim.live_flows(),
+            instances: sim.num_instances(),
+        });
+    }
+}
+
+impl<C: Coordinator> Coordinator for Probe<C> {
+    fn decide(&mut self, sim: &Simulation, dp: &DecisionPoint) -> Action {
+        if sim.time() >= self.next_sample {
+            self.take_sample(sim);
+            self.next_sample = sim.time() + self.period;
+        }
+        self.inner.decide(sim, dp)
+    }
+
+    fn observe(&mut self, sim: &Simulation, events: &[crate::event::SimEvent]) {
+        self.inner.observe(sim, events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::coordinator::RandomCoordinator;
+
+    #[test]
+    fn samples_cover_episode_at_period() {
+        let cfg = ScenarioConfig::paper_base(2)
+            .with_pattern(dosco_traffic::ArrivalPattern::paper_poisson())
+            .with_horizon(1_000.0);
+        let mut probe = Probe::new(RandomCoordinator::new(1), 100.0);
+        let mut sim = Simulation::new(cfg, 1);
+        sim.run(&mut probe);
+        let n = probe.samples().len();
+        assert!((8..=12).contains(&n), "{n} samples over 1000/100");
+        // Times are increasing and at least a period apart.
+        for w in probe.samples().windows(2) {
+            assert!(w[1].time - w[0].time >= 100.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn utilization_fractions_bounded() {
+        let cfg = ScenarioConfig::paper_base(3)
+            .with_pattern(dosco_traffic::ArrivalPattern::paper_poisson())
+            .with_horizon(800.0);
+        let mut probe = Probe::new(RandomCoordinator::new(2), 50.0);
+        let mut sim = Simulation::new(cfg, 2);
+        sim.run(&mut probe);
+        for s in probe.samples() {
+            assert_eq!(s.node_util.len(), 11);
+            assert_eq!(s.link_util.len(), 14);
+            for &u in s.node_util.iter().chain(&s.link_util) {
+                assert!((0.0..=1.0).contains(&u));
+            }
+        }
+        assert!(probe.peak_node_utilization() >= probe.mean_node_utilization());
+    }
+
+    #[test]
+    fn into_parts_returns_inner() {
+        let probe = Probe::new(RandomCoordinator::new(3), 10.0);
+        let (_inner, samples) = probe.into_parts();
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample period")]
+    fn rejects_zero_period() {
+        Probe::new(RandomCoordinator::new(0), 0.0);
+    }
+}

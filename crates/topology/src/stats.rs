@@ -1,0 +1,120 @@
+//! Topology statistics, as reported in Table I of the paper.
+
+use crate::graph::Topology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Degree statistics of a topology (Table I: Min./Max./Avg. degree).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Minimum node degree.
+    pub min: usize,
+    /// Maximum node degree (= network degree `Δ_G`).
+    pub max: usize,
+    /// Average node degree `2|L| / |V|`.
+    pub avg: f64,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics for a topology.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dosco_topology::{stats::DegreeStats, zoo};
+    ///
+    /// let s = DegreeStats::of(&zoo::abilene());
+    /// assert_eq!((s.min, s.max), (2, 3));
+    /// ```
+    pub fn of(topo: &Topology) -> Self {
+        let degrees: Vec<usize> = topo.node_ids().map(|v| topo.degree(v)).collect();
+        let min = degrees.iter().copied().min().unwrap_or(0);
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let avg = if degrees.is_empty() {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / degrees.len() as f64
+        };
+        DegreeStats { min, max, avg }
+    }
+}
+
+impl fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {} / {:.2}", self.min, self.max, self.avg)
+    }
+}
+
+/// One row of Table I: a topology's size and degree statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyRow {
+    /// Topology name.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Degree statistics.
+    pub degree: DegreeStats,
+}
+
+impl TopologyRow {
+    /// Builds the Table I row for a topology.
+    pub fn of(topo: &Topology) -> Self {
+        TopologyRow {
+            name: topo.name().to_string(),
+            nodes: topo.num_nodes(),
+            edges: topo.num_links(),
+            degree: DegreeStats::of(topo),
+        }
+    }
+}
+
+impl fmt::Display for TopologyRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:>5} {:>5}   {}",
+            self.name, self.nodes, self.edges, self.degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+
+    #[test]
+    fn star_degree_stats() {
+        let mut b = TopologyBuilder::new("star");
+        let hub = b.add_node("hub", 1.0);
+        for i in 0..4 {
+            let leaf = b.add_node(format!("leaf{i}"), 1.0);
+            b.add_link(hub, leaf, 1.0, 1.0).unwrap();
+        }
+        let t = b.build().unwrap();
+        let s = DegreeStats::of(&t);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.avg - 1.6).abs() < 1e-12);
+        assert_eq!(s.to_string(), "1 / 4 / 1.60");
+    }
+
+    #[test]
+    fn avg_degree_is_twice_edges_over_nodes() {
+        let t = crate::zoo::abilene();
+        let s = DegreeStats::of(&t);
+        let expect = 2.0 * t.num_links() as f64 / t.num_nodes() as f64;
+        assert!((s.avg - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_display_contains_name_and_counts() {
+        let t = crate::zoo::abilene();
+        let row = TopologyRow::of(&t).to_string();
+        assert!(row.contains("Abilene"));
+        assert!(row.contains("11"));
+        assert!(row.contains("14"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the topology substrate.
+
+use dosco_topology::generators::{self, DegreeProfile};
+use dosco_topology::paths::ShortestPaths;
+use dosco_topology::stats::DegreeStats;
+use dosco_topology::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Shortest-path delays on any connected random geometric graph satisfy
+    /// the triangle inequality and are symmetric.
+    #[test]
+    fn shortest_paths_metric(seed in 0u64..50, n in 5usize..25) {
+        let topo = generators::random_geometric(n, 300.0, 120.0, seed).unwrap();
+        let sp = ShortestPaths::compute(&topo);
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                prop_assert!((sp.delay(a, b) - sp.delay(b, a)).abs() < 1e-9);
+                for c in topo.node_ids() {
+                    prop_assert!(sp.delay(a, c) <= sp.delay(a, b) + sp.delay(b, c) + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Walking next-hop chains always reaches the destination and the hop
+    /// delays sum to the reported shortest-path delay.
+    #[test]
+    fn next_hops_reach_destination(seed in 0u64..50, n in 4usize..20) {
+        let topo = generators::random_geometric(n, 300.0, 120.0, seed).unwrap();
+        let sp = ShortestPaths::compute(&topo);
+        for s in topo.node_ids() {
+            for t in topo.node_ids() {
+                let path = sp.path(s, t).expect("connected graph");
+                let mut total = 0.0;
+                let mut cur = s;
+                for &hop in &path {
+                    let l = topo.link_between(cur, hop).expect("consecutive hops adjacent");
+                    total += topo.link(l).delay;
+                    cur = hop;
+                }
+                prop_assert_eq!(cur, t);
+                prop_assert!((total - sp.delay(s, t)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The degree-profile reconstruction hits its stats exactly whenever it
+    /// reports success, for arbitrary feasible profiles.
+    #[test]
+    fn reconstruction_matches_profile(
+        seed in 0u64..20,
+        n in 8usize..40,
+        extra in 0usize..20,
+        hub in 3usize..7,
+    ) {
+        prop_assume!(hub < n - 2);
+        let profile = DegreeProfile {
+            nodes: n,
+            edges: (n - 1) + extra,
+            min_degree: 1,
+            max_degree: hub,
+        };
+        if let Ok(t) = generators::reconstruct_degree_profile("p", profile, 500.0, seed) {
+            prop_assert_eq!(t.num_nodes(), n);
+            prop_assert_eq!(t.num_links(), n - 1 + extra);
+            let s = DegreeStats::of(&t);
+            prop_assert_eq!(s.min, 1);
+            prop_assert_eq!(s.max, hub);
+            prop_assert!(t.is_connected());
+        }
+    }
+
+    /// Neighbor lists are sorted, deduplicated, and mutual.
+    #[test]
+    fn adjacency_consistent(seed in 0u64..50, n in 3usize..25) {
+        let topo = generators::random_geometric(n, 300.0, 100.0, seed).unwrap();
+        for v in topo.node_ids() {
+            let neigh = topo.neighbors(v);
+            for w in neigh.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "sorted and deduped");
+            }
+            for &(u, l) in neigh {
+                prop_assert_ne!(u, v);
+                prop_assert_eq!(topo.link(l).other(v), u);
+                prop_assert!(topo.neighbors(u).iter().any(|&(x, _)| x == v));
+            }
+        }
+        let max_deg = topo.node_ids().map(|v| topo.degree(v)).max().unwrap();
+        prop_assert_eq!(max_deg, topo.network_degree());
+    }
+
+    /// Node id round-trip through `Display` stays parseable.
+    #[test]
+    fn node_id_display(idx in 0usize..1000) {
+        let v = NodeId(idx);
+        prop_assert_eq!(v.to_string(), format!("v{idx}"));
+    }
+}

@@ -1,0 +1,535 @@
+//! Flow arrival processes (Sec. V-B).
+
+use crate::trace::Trace;
+use rand::RngCore;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A stochastic (or deterministic) point process generating flow arrival
+/// times at one ingress node.
+///
+/// Implementations are stateful (MMPP keeps its modulation state, traces
+/// keep their playback position); call [`ArrivalProcess::reset`] to restart
+/// an episode.
+pub trait ArrivalProcess: fmt::Debug + Send {
+    /// Returns the absolute time of the next arrival strictly after `now`.
+    ///
+    /// Returns `f64::INFINITY` if no further arrivals occur.
+    fn next_arrival(&mut self, now: f64, rng: &mut dyn RngCore) -> f64;
+
+    /// Restores the process to its initial state (e.g. for a new episode).
+    fn reset(&mut self);
+
+    /// Long-run mean arrival rate in flows per time unit, if defined.
+    /// Used for sanity checks and load reporting.
+    fn mean_rate(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Deterministic arrivals every `interval` time units: `interval`,
+/// `2·interval`, … (the paper's *fixed* pattern, interval 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedInterval {
+    interval: f64,
+}
+
+impl FixedInterval {
+    /// Creates a fixed-interval process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not finite and positive.
+    pub fn new(interval: f64) -> Self {
+        assert!(
+            interval.is_finite() && interval > 0.0,
+            "interval must be finite and positive, got {interval}"
+        );
+        FixedInterval { interval }
+    }
+}
+
+impl ArrivalProcess for FixedInterval {
+    fn next_arrival(&mut self, now: f64, _rng: &mut dyn RngCore) -> f64 {
+        // Next multiple of `interval` strictly after `now`.
+        let k = (now / self.interval).floor() + 1.0;
+        let t = k * self.interval;
+        if t <= now {
+            t + self.interval
+        } else {
+            t
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn mean_rate(&self) -> Option<f64> {
+        Some(1.0 / self.interval)
+    }
+}
+
+/// Samples an exponential inter-arrival time with the given mean.
+fn sample_exp(mean: f64, rng: &mut dyn RngCore) -> f64 {
+    // Inverse-CDF sampling; `gen` yields [0,1), so `1 - u` is in (0,1].
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+/// Poisson arrivals: i.i.d. exponential inter-arrival times with the given
+/// mean (the paper uses mean 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poisson {
+    mean_interarrival: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson process with the given mean inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is not finite and positive.
+    pub fn new(mean_interarrival: f64) -> Self {
+        assert!(
+            mean_interarrival.is_finite() && mean_interarrival > 0.0,
+            "mean inter-arrival must be finite and positive, got {mean_interarrival}"
+        );
+        Poisson { mean_interarrival }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_arrival(&mut self, now: f64, rng: &mut dyn RngCore) -> f64 {
+        now + sample_exp(self.mean_interarrival, rng)
+    }
+
+    fn reset(&mut self) {}
+
+    fn mean_rate(&self) -> Option<f64> {
+        Some(1.0 / self.mean_interarrival)
+    }
+}
+
+/// Two-state Markov-modulated Poisson process (Sec. V-B, Fig. 6c):
+/// exponential arrivals whose mean switches between `mean0` and `mean1`;
+/// every `switch_period` time units the state flips with probability
+/// `switch_prob` (paper: means 12/8, period 100, probability 5 %).
+///
+/// Thanks to the memorylessness of the exponential distribution, sampling
+/// piecewise per modulation segment is exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mmpp {
+    mean0: f64,
+    mean1: f64,
+    switch_period: f64,
+    switch_prob: f64,
+    /// Current state: false = state 0, true = state 1.
+    state: bool,
+    /// Time of the next switch check.
+    next_check: f64,
+}
+
+impl Mmpp {
+    /// Creates an MMPP with the paper's parameterization style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mean or the period is not finite/positive, or the
+    /// probability is outside `[0, 1]`.
+    pub fn new(mean0: f64, mean1: f64, switch_period: f64, switch_prob: f64) -> Self {
+        assert!(mean0.is_finite() && mean0 > 0.0, "mean0 must be positive");
+        assert!(mean1.is_finite() && mean1 > 0.0, "mean1 must be positive");
+        assert!(
+            switch_period.is_finite() && switch_period > 0.0,
+            "switch period must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&switch_prob),
+            "switch probability must be in [0,1], got {switch_prob}"
+        );
+        Mmpp {
+            mean0,
+            mean1,
+            switch_period,
+            switch_prob,
+            state: false,
+            next_check: switch_period,
+        }
+    }
+
+    /// The paper's MMPP: means 12 and 8, switching every 100 steps with 5 %.
+    pub fn paper_default() -> Self {
+        Mmpp::new(12.0, 8.0, 100.0, 0.05)
+    }
+
+    fn current_mean(&self) -> f64 {
+        if self.state {
+            self.mean1
+        } else {
+            self.mean0
+        }
+    }
+}
+
+impl ArrivalProcess for Mmpp {
+    fn next_arrival(&mut self, now: f64, rng: &mut dyn RngCore) -> f64 {
+        let mut t = now;
+        loop {
+            // Catch up on missed switch checks (e.g. long silent stretch).
+            while t >= self.next_check {
+                if rng.gen::<f64>() < self.switch_prob {
+                    self.state = !self.state;
+                }
+                self.next_check += self.switch_period;
+            }
+            let candidate = t + sample_exp(self.current_mean(), rng);
+            if candidate < self.next_check {
+                return candidate;
+            }
+            // Arrival would land beyond the next potential switch: advance
+            // to the boundary and resample (exact due to memorylessness).
+            t = self.next_check;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = false;
+        self.next_check = self.switch_period;
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        // Symmetric switching => 50/50 stationary distribution.
+        Some(0.5 / self.mean0 + 0.5 / self.mean1)
+    }
+}
+
+/// Trace-driven arrivals: an inhomogeneous Poisson process whose rate
+/// follows a [`Trace`] (piecewise-constant rate bins), wrapping around at
+/// the end of the trace. Substitutes for the paper's real-world Abilene
+/// traces (Fig. 6d); load a real rate series with [`Trace::from_csv`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDriven {
+    trace: Trace,
+    /// Scales all trace rates (e.g. to calibrate mean load).
+    rate_scale: f64,
+}
+
+impl TraceDriven {
+    /// Creates a trace-driven process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_scale` is not finite and positive.
+    pub fn new(trace: Trace, rate_scale: f64) -> Self {
+        assert!(
+            rate_scale.is_finite() && rate_scale > 0.0,
+            "rate scale must be finite and positive, got {rate_scale}"
+        );
+        TraceDriven { trace, rate_scale }
+    }
+
+    /// The trace being played back.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl ArrivalProcess for TraceDriven {
+    fn next_arrival(&mut self, now: f64, rng: &mut dyn RngCore) -> f64 {
+        let mut t = now;
+        // Bound the search to a generous number of cycles: an all-zero
+        // trace yields no arrivals.
+        let horizon = t + 1000.0 * self.trace.duration();
+        while t < horizon {
+            let rate = self.trace.rate_at(t) * self.rate_scale;
+            let bin_end = self.trace.bin_end(t);
+            if rate <= 0.0 {
+                t = bin_end;
+                continue;
+            }
+            let candidate = t + sample_exp(1.0 / rate, rng);
+            if candidate < bin_end {
+                return candidate;
+            }
+            t = bin_end;
+        }
+        f64::INFINITY
+    }
+
+    fn reset(&mut self) {}
+
+    fn mean_rate(&self) -> Option<f64> {
+        Some(self.trace.mean_rate() * self.rate_scale)
+    }
+}
+
+/// The four arrival patterns of the evaluation, as a serializable
+/// configuration enum. [`ArrivalPattern::build`] instantiates the matching
+/// [`ArrivalProcess`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// Fixed inter-arrival time.
+    Fixed {
+        /// Inter-arrival interval.
+        interval: f64,
+    },
+    /// Poisson process.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean: f64,
+    },
+    /// Two-state MMPP.
+    Mmpp {
+        /// Mean inter-arrival time in state 0.
+        mean0: f64,
+        /// Mean inter-arrival time in state 1.
+        mean1: f64,
+        /// Time between switch checks.
+        period: f64,
+        /// Switch probability per check.
+        prob: f64,
+    },
+    /// Trace-driven inhomogeneous Poisson.
+    Trace {
+        /// The rate trace to follow.
+        trace: Trace,
+        /// Rate scale factor.
+        scale: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// The paper's fixed pattern (interval 10).
+    pub fn paper_fixed() -> Self {
+        ArrivalPattern::Fixed { interval: 10.0 }
+    }
+
+    /// The paper's Poisson pattern (mean 10).
+    pub fn paper_poisson() -> Self {
+        ArrivalPattern::Poisson { mean: 10.0 }
+    }
+
+    /// The paper's MMPP pattern (means 12/8, period 100, probability 0.05).
+    pub fn paper_mmpp() -> Self {
+        ArrivalPattern::Mmpp {
+            mean0: 12.0,
+            mean1: 8.0,
+            period: 100.0,
+            prob: 0.05,
+        }
+    }
+
+    /// The bundled synthetic diurnal trace calibrated to mean rate ≈ 0.1
+    /// (mean inter-arrival ≈ 10, matching the other patterns' load).
+    pub fn paper_trace() -> Self {
+        ArrivalPattern::Trace {
+            trace: Trace::synthetic_abilene(),
+            scale: 1.0,
+        }
+    }
+
+    /// Short lowercase name, as used in experiment CLIs (`fixed`, `poisson`,
+    /// `mmpp`, `trace`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Fixed { .. } => "fixed",
+            ArrivalPattern::Poisson { .. } => "poisson",
+            ArrivalPattern::Mmpp { .. } => "mmpp",
+            ArrivalPattern::Trace { .. } => "trace",
+        }
+    }
+
+    /// Instantiates the configured arrival process.
+    pub fn build(&self) -> Box<dyn ArrivalProcess> {
+        match self {
+            ArrivalPattern::Fixed { interval } => Box::new(FixedInterval::new(*interval)),
+            ArrivalPattern::Poisson { mean } => Box::new(Poisson::new(*mean)),
+            ArrivalPattern::Mmpp {
+                mean0,
+                mean1,
+                period,
+                prob,
+            } => Box::new(Mmpp::new(*mean0, *mean1, *period, *prob)),
+            ArrivalPattern::Trace { trace, scale } => {
+                Box::new(TraceDriven::new(trace.clone(), *scale))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fixed_interval_hits_multiples() {
+        let mut p = FixedInterval::new(10.0);
+        let mut r = rng();
+        assert_eq!(p.next_arrival(0.0, &mut r), 10.0);
+        assert_eq!(p.next_arrival(10.0, &mut r), 20.0);
+        assert_eq!(p.next_arrival(14.5, &mut r), 20.0);
+        assert_eq!(p.mean_rate(), Some(0.1));
+    }
+
+    #[test]
+    fn fixed_interval_strictly_advances() {
+        let mut p = FixedInterval::new(3.0);
+        let mut r = rng();
+        let mut t = 0.0;
+        for _ in 0..100 {
+            let n = p.next_arrival(t, &mut r);
+            assert!(n > t);
+            t = n;
+        }
+        assert!((t - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fixed_rejects_zero_interval() {
+        FixedInterval::new(0.0);
+    }
+
+    #[test]
+    fn poisson_mean_close_to_target() {
+        let mut p = Poisson::new(10.0);
+        let mut r = rng();
+        let mut t = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            t = p.next_arrival(t, &mut r);
+        }
+        let mean = t / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn poisson_interarrivals_strictly_positive() {
+        let mut p = Poisson::new(1.0);
+        let mut r = rng();
+        let mut t = 5.0;
+        for _ in 0..1000 {
+            let n = p.next_arrival(t, &mut r);
+            assert!(n > t);
+            t = n;
+        }
+    }
+
+    #[test]
+    fn mmpp_rate_between_state_rates() {
+        let mut p = Mmpp::paper_default();
+        let mut r = rng();
+        let mut t = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            t = p.next_arrival(t, &mut r);
+        }
+        let mean = t / n as f64;
+        // Stationary mean inter-arrival is the harmonic-ish mixture of 12
+        // and 8: strictly inside (8, 12).
+        assert!(mean > 8.0 && mean < 12.0, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn mmpp_actually_switches_state() {
+        let mut p = Mmpp::new(100.0, 0.1, 10.0, 0.5);
+        let mut r = rng();
+        let mut t = 0.0;
+        let mut saw_state1 = false;
+        for _ in 0..200 {
+            t = p.next_arrival(t, &mut r);
+            if p.state {
+                saw_state1 = true;
+            }
+        }
+        assert!(saw_state1, "MMPP never left state 0");
+        p.reset();
+        assert!(!p.state);
+        assert_eq!(p.next_check, 10.0);
+    }
+
+    #[test]
+    fn mmpp_zero_switch_prob_behaves_like_poisson() {
+        let mut p = Mmpp::new(10.0, 1.0, 100.0, 0.0);
+        let mut r = rng();
+        let mut t = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            t = p.next_arrival(t, &mut r);
+        }
+        let mean = t / n as f64;
+        assert!((mean - 10.0).abs() < 0.4, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn trace_driven_follows_rate_changes() {
+        // Two bins: silent then busy.
+        let trace = Trace::new(vec![0.0, 1.0], 100.0).unwrap();
+        let mut p = TraceDriven::new(trace, 1.0);
+        let mut r = rng();
+        let first = p.next_arrival(0.0, &mut r);
+        assert!(first >= 100.0, "no arrivals in the silent bin, got {first}");
+        let mut count_busy = 0;
+        let mut t = first;
+        while t < 200.0 {
+            count_busy += 1;
+            t = p.next_arrival(t, &mut r);
+        }
+        // Rate 1.0 over 100 time units -> ~100 arrivals.
+        assert!((60..150).contains(&count_busy), "{count_busy}");
+    }
+
+    #[test]
+    fn trace_driven_wraps_around() {
+        let trace = Trace::new(vec![1.0], 10.0).unwrap();
+        let mut p = TraceDriven::new(trace, 1.0);
+        let mut r = rng();
+        let t = p.next_arrival(25.0, &mut r);
+        assert!(t > 25.0 && t.is_finite());
+    }
+
+    #[test]
+    fn all_zero_trace_yields_no_arrivals() {
+        let trace = Trace::new(vec![0.0, 0.0], 1.0).unwrap();
+        let mut p = TraceDriven::new(trace, 1.0);
+        let mut r = rng();
+        assert_eq!(p.next_arrival(0.0, &mut r), f64::INFINITY);
+    }
+
+    #[test]
+    fn pattern_builds_matching_process() {
+        let mut r = rng();
+        for pattern in [
+            ArrivalPattern::paper_fixed(),
+            ArrivalPattern::paper_poisson(),
+            ArrivalPattern::paper_mmpp(),
+            ArrivalPattern::paper_trace(),
+        ] {
+            let mut p = pattern.build();
+            let t = p.next_arrival(0.0, &mut r);
+            assert!(t > 0.0 && t.is_finite(), "{}", pattern.name());
+        }
+    }
+
+    #[test]
+    fn pattern_names() {
+        assert_eq!(ArrivalPattern::paper_fixed().name(), "fixed");
+        assert_eq!(ArrivalPattern::paper_poisson().name(), "poisson");
+        assert_eq!(ArrivalPattern::paper_mmpp().name(), "mmpp");
+        assert_eq!(ArrivalPattern::paper_trace().name(), "trace");
+    }
+
+    #[test]
+    fn pattern_serde_round_trip() {
+        let p = ArrivalPattern::paper_mmpp();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ArrivalPattern = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

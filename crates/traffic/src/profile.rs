@@ -1,0 +1,106 @@
+//! Per-flow parameter profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-flow parameters of the base scenario (Sec. V-A1): data rate
+/// `λ_f`, duration `δ_f`, and deadline `τ_f` (maximum acceptable
+/// end-to-end delay, relative to arrival).
+///
+/// # Example
+///
+/// ```
+/// use dosco_traffic::FlowProfile;
+///
+/// let p = FlowProfile::paper_default();
+/// assert_eq!((p.rate, p.duration, p.deadline), (1.0, 1.0, 100.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowProfile {
+    /// Data rate `λ_f`.
+    pub rate: f64,
+    /// Flow duration `δ_f` (how long the flow transmits).
+    pub duration: f64,
+    /// Deadline `τ_f`: maximum acceptable end-to-end delay.
+    pub deadline: f64,
+}
+
+impl FlowProfile {
+    /// Creates a flow profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-finite, or rate/duration are
+    /// negative, or the deadline is not positive.
+    pub fn new(rate: f64, duration: f64, deadline: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be ≥ 0");
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "duration must be ≥ 0"
+        );
+        assert!(
+            deadline.is_finite() && deadline > 0.0,
+            "deadline must be > 0"
+        );
+        FlowProfile {
+            rate,
+            duration,
+            deadline,
+        }
+    }
+
+    /// The paper's base scenario: unit rate and duration, deadline 100.
+    pub fn paper_default() -> Self {
+        FlowProfile::new(1.0, 1.0, 100.0)
+    }
+
+    /// Returns a copy with a different deadline (Sec. V-C sweeps
+    /// `τ_f ∈ {20, 30, 40, 50}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is not finite and positive.
+    pub fn with_deadline(self, deadline: f64) -> Self {
+        FlowProfile::new(self.rate, self.duration, deadline)
+    }
+}
+
+impl Default for FlowProfile {
+    fn default() -> Self {
+        FlowProfile::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let p = FlowProfile::paper_default();
+        assert_eq!(p, FlowProfile::default());
+        assert_eq!(p.rate, 1.0);
+        assert_eq!(p.duration, 1.0);
+        assert_eq!(p.deadline, 100.0);
+    }
+
+    #[test]
+    fn with_deadline_sweeps() {
+        for d in [20.0, 30.0, 40.0, 50.0] {
+            let p = FlowProfile::paper_default().with_deadline(d);
+            assert_eq!(p.deadline, d);
+            assert_eq!(p.rate, 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn rejects_zero_deadline() {
+        FlowProfile::new(1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn rejects_nan_rate() {
+        FlowProfile::new(f64::NAN, 1.0, 1.0);
+    }
+}

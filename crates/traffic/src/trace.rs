@@ -1,0 +1,276 @@
+//! Piecewise-constant traffic rate traces.
+//!
+//! The paper's Fig. 6d drives ingress traffic from real-world Abilene
+//! traces (SNDlib). Those traces are not redistributable here, so
+//! [`Trace::synthetic_abilene`] generates a deterministic stand-in with the
+//! properties the experiment depends on — non-stationary load with a
+//! diurnal swing and short bursts (see DESIGN.md §2). Real rate series can
+//! be loaded with [`Trace::from_csv`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while constructing or parsing a [`Trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace has no bins.
+    Empty,
+    /// A rate is negative or non-finite.
+    InvalidRate(f64),
+    /// The bin width is not finite and positive.
+    InvalidBinWidth(f64),
+    /// A CSV line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace has no bins"),
+            TraceError::InvalidRate(r) => write!(f, "invalid rate {r}: must be finite and ≥ 0"),
+            TraceError::InvalidBinWidth(w) => {
+                write!(f, "invalid bin width {w}: must be finite and > 0")
+            }
+            TraceError::Parse { line, content } => {
+                write!(f, "cannot parse trace line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A piecewise-constant arrival-rate series: `rates[i]` holds for
+/// `t ∈ [i·bin_width, (i+1)·bin_width)`; playback wraps cyclically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    rates: Vec<f64>,
+    bin_width: f64,
+}
+
+impl Trace {
+    /// Creates a trace from rate bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rates` is empty, any rate is negative or
+    /// non-finite, or `bin_width` is not finite and positive.
+    pub fn new(rates: Vec<f64>, bin_width: f64) -> Result<Self, TraceError> {
+        if rates.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        if !bin_width.is_finite() || bin_width <= 0.0 {
+            return Err(TraceError::InvalidBinWidth(bin_width));
+        }
+        if let Some(&bad) = rates.iter().find(|r| !r.is_finite() || **r < 0.0) {
+            return Err(TraceError::InvalidRate(bad));
+        }
+        Ok(Trace { rates, bin_width })
+    }
+
+    /// Parses a rate series from CSV text: one rate per line, or
+    /// `time,rate` pairs (the time column is ignored; bins are assumed
+    /// uniform at `bin_width`). Blank lines and `#` comments are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] with the offending line on malformed
+    /// input, plus all [`Trace::new`] errors.
+    pub fn from_csv(text: &str, bin_width: f64) -> Result<Self, TraceError> {
+        let mut rates = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let field = line.rsplit(',').next().unwrap_or(line).trim();
+            let rate: f64 = field.parse().map_err(|_| TraceError::Parse {
+                line: i + 1,
+                content: raw.to_string(),
+            })?;
+            rates.push(rate);
+        }
+        Trace::new(rates, bin_width)
+    }
+
+    /// The deterministic synthetic Abilene-like trace used for Fig. 6d:
+    /// 200 bins of width 100 time units (two "days" of 10 000 steps each)
+    /// with a diurnal sinusoid around mean rate 0.1 (mean inter-arrival 10,
+    /// matching the other patterns' load) plus recurring short bursts.
+    pub fn synthetic_abilene() -> Self {
+        let bins = 200usize;
+        let day = 100.0; // bins per synthetic day
+        let mut rates = Vec::with_capacity(bins);
+        for i in 0..bins {
+            let phase = 2.0 * std::f64::consts::PI * (i as f64) / day;
+            // Diurnal swing: ±50 % around the base rate.
+            let mut rate = 0.1 * (1.0 + 0.5 * phase.sin());
+            // Deterministic bursts every 17 bins: 80 % extra load.
+            if i % 17 == 0 {
+                rate *= 1.8;
+            }
+            // Quiet dips every 23 bins.
+            if i % 23 == 0 {
+                rate *= 0.4;
+            }
+            rates.push(rate);
+        }
+        Trace::new(rates, 100.0).expect("synthetic trace is valid by construction")
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Width of each bin in time units.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// Total duration of one playback cycle.
+    pub fn duration(&self) -> f64 {
+        self.bin_width * self.rates.len() as f64
+    }
+
+    /// The rate at absolute time `t` (wrapping cyclically).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let cycle = self.duration();
+        let within = t.rem_euclid(cycle);
+        let idx = ((within / self.bin_width) as usize).min(self.rates.len() - 1);
+        self.rates[idx]
+    }
+
+    /// The end time of the bin containing `t` (absolute, non-wrapped), i.e.
+    /// the next time the rate may change.
+    pub fn bin_end(&self, t: f64) -> f64 {
+        (t / self.bin_width).floor() * self.bin_width + self.bin_width
+    }
+
+    /// Mean rate over one cycle.
+    pub fn mean_rate(&self) -> f64 {
+        self.rates.iter().sum::<f64>() / self.rates.len() as f64
+    }
+
+    /// Peak rate over one cycle.
+    pub fn peak_rate(&self) -> f64 {
+        self.rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The raw rate bins.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Returns a copy with every rate multiplied by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and ≥ 0, got {factor}"
+        );
+        Trace {
+            rates: self.rates.iter().map(|r| r * factor).collect(),
+            bin_width: self.bin_width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_invalid() {
+        assert_eq!(Trace::new(vec![], 1.0), Err(TraceError::Empty));
+        assert_eq!(
+            Trace::new(vec![1.0], 0.0),
+            Err(TraceError::InvalidBinWidth(0.0))
+        );
+        assert_eq!(
+            Trace::new(vec![1.0, -2.0], 1.0),
+            Err(TraceError::InvalidRate(-2.0))
+        );
+    }
+
+    #[test]
+    fn rate_lookup_and_wrapping() {
+        let t = Trace::new(vec![1.0, 2.0, 3.0], 10.0).unwrap();
+        assert_eq!(t.rate_at(0.0), 1.0);
+        assert_eq!(t.rate_at(15.0), 2.0);
+        assert_eq!(t.rate_at(29.9), 3.0);
+        // Wraps: t=31 is bin 0 of the next cycle.
+        assert_eq!(t.rate_at(31.0), 1.0);
+        assert_eq!(t.duration(), 30.0);
+    }
+
+    #[test]
+    fn bin_end_is_next_boundary() {
+        let t = Trace::new(vec![1.0, 2.0], 10.0).unwrap();
+        assert_eq!(t.bin_end(0.0), 10.0);
+        assert_eq!(t.bin_end(9.999), 10.0);
+        assert_eq!(t.bin_end(10.0), 20.0);
+        assert_eq!(t.bin_end(25.0), 30.0);
+    }
+
+    #[test]
+    fn csv_parsing_both_shapes() {
+        let t = Trace::from_csv("# comment\n1.0\n\n2.5\n", 5.0).unwrap();
+        assert_eq!(t.rates(), &[1.0, 2.5]);
+        let t2 = Trace::from_csv("0,1.0\n5,2.5\n", 5.0).unwrap();
+        assert_eq!(t2.rates(), &[1.0, 2.5]);
+    }
+
+    #[test]
+    fn csv_reports_offending_line() {
+        let err = Trace::from_csv("1.0\nnot-a-number\n", 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::Parse {
+                line: 2,
+                content: "not-a-number".into()
+            }
+        );
+    }
+
+    #[test]
+    fn synthetic_trace_properties() {
+        let t = Trace::synthetic_abilene();
+        assert_eq!(t.num_bins(), 200);
+        // Mean load calibrated near 0.1 flows per time unit.
+        let mean = t.mean_rate();
+        assert!((mean - 0.1).abs() < 0.02, "mean rate {mean}");
+        // Bursty: peak well above mean.
+        assert!(t.peak_rate() > 1.5 * mean);
+        // Deterministic.
+        assert_eq!(t, Trace::synthetic_abilene());
+    }
+
+    #[test]
+    fn scaling() {
+        let t = Trace::new(vec![1.0, 2.0], 1.0).unwrap().scaled(0.5);
+        assert_eq!(t.rates(), &[0.5, 1.0]);
+        assert_eq!(t.mean_rate(), 0.75);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Trace::synthetic_abilene();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t.bin_width(), back.bin_width());
+        assert_eq!(t.num_bins(), back.num_bins());
+        for (a, b) in t.rates().iter().zip(back.rates()) {
+            // JSON text round-trips floats to within an ulp, not bit-exactly.
+            assert!((a - b).abs() <= f64::EPSILON * a.abs());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: train a small distributed DRL coordinator on the paper's
+//! base scenario, deploy it at every node, and compare it against the
+//! heuristic baselines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This runs at toy scale (about a minute); see `crates/bench` for the
+//! full experiment harness.
+
+use dosco::baselines::{Gcasp, ShortestPath};
+use dosco::core::train::{train_distributed, Algorithm, TrainConfig};
+use dosco::simnet::{Coordinator, ScenarioConfig, Simulation};
+use dosco::traffic::ArrivalPattern;
+
+fn main() {
+    // The paper's base scenario (Sec. V-A1): Abilene, 2 ingress nodes,
+    // Poisson flow arrivals, the FW -> IDS -> Video service.
+    let scenario = ScenarioConfig::paper_base(2)
+        .with_pattern(ArrivalPattern::paper_poisson())
+        .with_horizon(3_000.0);
+
+    // Centralized training, distributed inference (Alg. 1) — tiny budget.
+    println!("training distributed DRL agents (toy budget, ~1 min) ...");
+    let config = TrainConfig {
+        algorithm: Algorithm::Acktr,
+        total_steps: 12_000,
+        n_envs: 4,
+        seeds: vec![0, 1],
+        eval_horizon: 1_500.0,
+        ..TrainConfig::default()
+    };
+    let trained = train_distributed(&scenario, &config);
+    println!(
+        "best seed: {} (selection score {:.3})",
+        trained.policy.metadata.seed, trained.policy.metadata.score
+    );
+
+    // Evaluate all algorithms on the same held-out episode.
+    let eval_seed = 4242;
+    let run = |name: &str, coordinator: &mut dyn Coordinator| {
+        let mut sim = Simulation::new(scenario.clone(), eval_seed);
+        let m = sim.run(coordinator).clone();
+        println!(
+            "{name:<22} success ratio {:.3}  ({} completed, {} dropped, avg e2e {})",
+            m.success_ratio(),
+            m.completed,
+            m.dropped_total(),
+            m.avg_e2e_delay()
+                .map_or("-".to_string(), |d| format!("{d:.1} ms")),
+        );
+    };
+
+    let mut agents =
+        dosco::core::DistributedAgents::deploy(&trained.policy, scenario.topology.num_nodes());
+    run("distributed DRL", &mut agents);
+    run("GCASP heuristic", &mut Gcasp::new());
+    run("shortest path (SP)", &mut ShortestPath::new());
+
+    // The trained policy is a plain JSON artifact.
+    let path = std::env::temp_dir().join("dosco-quickstart-policy.json");
+    trained.policy.save(&path).expect("writable temp dir");
+    println!("policy saved to {}", path.display());
+}

@@ -1,0 +1,20 @@
+#!/bin/bash
+# Regenerates every table and figure at the reduced default budget.
+# Full-scale: raise DOSCO_TRAIN_STEPS/DOSCO_SEEDS/DOSCO_EVAL_SEEDS/DOSCO_HORIZON.
+set -u
+cd "$(dirname "$0")"
+BIN=./target/release
+export DOSCO_TRAIN_STEPS=${DOSCO_TRAIN_STEPS:-28000}
+export DOSCO_SEEDS=${DOSCO_SEEDS:-3}
+export DOSCO_EVAL_SEEDS=${DOSCO_EVAL_SEEDS:-5}
+export DOSCO_HORIZON=${DOSCO_HORIZON:-5000}
+export DOSCO_CENTRAL_STEPS=${DOSCO_CENTRAL_STEPS:-800}
+mkdir -p results
+echo "=== table1 ===";      $BIN/table1  2>&1 | tee results/table1.txt
+echo "=== fig6 (all) ===";  $BIN/fig6 --pattern all 2>&1 | tee results/fig6.txt
+echo "=== fig7 ===";        $BIN/fig7 2>&1 | tee results/fig7.txt
+echo "=== fig8 (all) ===";  $BIN/fig8 --part all 2>&1 | tee results/fig8.txt
+echo "=== fig9 (all) ===";  $BIN/fig9 --part all 2>&1 | tee results/fig9.txt
+echo "=== ablations ===";   DOSCO_TRAIN_STEPS=16000 $BIN/ablations 2>&1 | tee results/ablations.txt
+echo "=== flagship ===";    $BIN/flagship 2>&1 | tee results/flagship.txt
+echo "ALL EXPERIMENTS DONE"

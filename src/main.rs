@@ -1,0 +1,189 @@
+//! `dosco` — command-line interface for training, evaluating, and
+//! inspecting distributed service-coordination policies.
+//!
+//! ```text
+//! dosco train --ingress 2 --pattern poisson --steps 40000 --out policy.json
+//! dosco eval  --policy policy.json --ingress 3 --pattern mmpp --seeds 5
+//! dosco run   --algo gcasp --ingress 4 --pattern trace
+//! dosco topo  --list
+//! ```
+
+use dosco::baselines::{Gcasp, ShortestPath};
+use dosco::core::eval::evaluate_with_capacity_draw;
+use dosco::core::policy::CoordinationPolicy;
+use dosco::core::train::{train_distributed, Algorithm, TrainConfig};
+use dosco::simnet::{Coordinator, Metrics, ScenarioConfig, Simulation};
+use dosco::topology::{stats::TopologyRow, zoo};
+use dosco::traffic::ArrivalPattern;
+use std::process::ExitCode;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn pattern(args: &[String]) -> ArrivalPattern {
+    match flag(args, "--pattern").as_deref().unwrap_or("poisson") {
+        "fixed" => ArrivalPattern::paper_fixed(),
+        "poisson" => ArrivalPattern::paper_poisson(),
+        "mmpp" => ArrivalPattern::paper_mmpp(),
+        "trace" => ArrivalPattern::paper_trace(),
+        other => {
+            eprintln!("unknown pattern {other:?}; use fixed|poisson|mmpp|trace");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn scenario(args: &[String]) -> ScenarioConfig {
+    let ingress: usize = flag(args, "--ingress")
+        .map(|v| v.parse().expect("--ingress must be 1..=5"))
+        .unwrap_or(2);
+    let horizon: f64 = flag(args, "--horizon")
+        .map(|v| v.parse().expect("--horizon must be a number"))
+        .unwrap_or(5_000.0);
+    let deadline: Option<f64> =
+        flag(args, "--deadline").map(|v| v.parse().expect("--deadline must be a number"));
+    let mut cfg = ScenarioConfig::paper_base(ingress)
+        .with_pattern(pattern(args))
+        .with_horizon(horizon);
+    if let Some(d) = deadline {
+        cfg = cfg.with_deadline(d);
+    }
+    cfg
+}
+
+fn print_metrics(label: &str, m: &Metrics) {
+    println!(
+        "{label}: success {:.3} ({} completed / {} dropped / {} in flight), avg e2e {}",
+        m.success_ratio(),
+        m.completed,
+        m.dropped_total(),
+        m.in_flight(),
+        m.avg_e2e_delay()
+            .map_or("-".to_string(), |d| format!("{d:.1} ms")),
+    );
+}
+
+fn cmd_train(args: &[String]) -> ExitCode {
+    let out = flag(args, "--out").unwrap_or_else(|| "policy.json".into());
+    let steps: usize = flag(args, "--steps")
+        .map(|v| v.parse().expect("--steps must be an integer"))
+        .unwrap_or(40_000);
+    let seeds: u64 = flag(args, "--seeds")
+        .map(|v| v.parse().expect("--seeds must be an integer"))
+        .unwrap_or(3);
+    let algorithm = match flag(args, "--algo").as_deref().unwrap_or("acktr") {
+        "acktr" => Algorithm::Acktr,
+        "a2c" => Algorithm::A2c,
+        "ppo" => Algorithm::Ppo,
+        other => {
+            eprintln!("unknown algorithm {other:?}; use acktr|a2c|ppo");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = scenario(args);
+    eprintln!(
+        "training {} on {} ({} ingress, {} pattern, {steps} steps x {seeds} seeds)…",
+        algorithm.name(),
+        scenario.topology.name(),
+        scenario.ingresses.len(),
+        scenario.ingresses[0].pattern.name(),
+    );
+    let config = TrainConfig {
+        algorithm,
+        total_steps: steps,
+        seeds: (0..seeds).collect(),
+        ..TrainConfig::default()
+    };
+    let trained = train_distributed(&scenario, &config);
+    println!("seed scores (best first): {:?}", trained.seed_scores);
+    if let Err(e) = trained.policy.save(&out) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("policy written to {out}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_eval(args: &[String]) -> ExitCode {
+    let Some(path) = flag(args, "--policy") else {
+        eprintln!("--policy <file> required");
+        return ExitCode::from(2);
+    };
+    let policy = match CoordinationPolicy::load(&path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seeds: u64 = flag(args, "--seeds")
+        .map(|v| v.parse().expect("--seeds must be an integer"))
+        .unwrap_or(5);
+    let scenario = scenario(args);
+    let mut ratios = Vec::new();
+    for seed in 100..100 + seeds {
+        let m = evaluate_with_capacity_draw(&policy, &scenario, seed);
+        print_metrics(&format!("seed {seed}"), &m);
+        ratios.push(m.success_ratio());
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("mean success over {seeds} seeds: {mean:.3}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let algo = flag(args, "--algo").unwrap_or_else(|| "gcasp".into());
+    let seed: u64 = flag(args, "--seed")
+        .map(|v| v.parse().expect("--seed must be an integer"))
+        .unwrap_or(1);
+    let scenario = scenario(args);
+    let mut coordinator: Box<dyn Coordinator> = match algo.as_str() {
+        "gcasp" => Box::new(Gcasp::new()),
+        "sp" => Box::new(ShortestPath::new()),
+        other => {
+            eprintln!("unknown algorithm {other:?}; use gcasp|sp (DRL: `dosco eval`)");
+            return ExitCode::from(2);
+        }
+    };
+    let mut sim = Simulation::new(scenario, seed);
+    let m = sim.run(coordinator.as_mut()).clone();
+    print_metrics(&algo, &m);
+    ExitCode::SUCCESS
+}
+
+fn cmd_topo(_args: &[String]) -> ExitCode {
+    println!(
+        "{:<14} {:>5} {:>5}   {}",
+        "Network", "Nodes", "Edges", "Degree (Min./Max./Avg.)"
+    );
+    for row in zoo::all().iter().map(TopologyRow::of) {
+        println!("{row}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("topo") => cmd_topo(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dosco <train|eval|run|topo> [options]\n\
+                 \n\
+                 train --ingress N --pattern P --steps S --seeds K --algo acktr|a2c|ppo --out FILE\n\
+                 eval  --policy FILE --ingress N --pattern P --seeds K [--deadline D]\n\
+                 run   --algo gcasp|sp --ingress N --pattern P [--seed S]\n\
+                 topo  (list bundled topologies)\n\
+                 \n\
+                 common: --pattern fixed|poisson|mmpp|trace  --horizon T  --deadline D"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Workspace-spanning property tests.
+
+use dosco::core::observe::ObservationAdapter;
+use dosco::core::policy::{CoordinationPolicy, PolicyMetadata};
+use dosco::core::RewardConfig;
+use dosco::nn::{Activation, Mlp};
+use dosco::simnet::{Action, ScenarioConfig, SimEvent, Simulation};
+use dosco::traffic::ArrivalPattern;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn random_policy(degree: usize, seed: u64) -> CoordinationPolicy {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let actor = Mlp::new(&[4 * degree + 4, 12, degree + 1], Activation::Tanh, &mut rng);
+    CoordinationPolicy::new(actor, degree, PolicyMetadata::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A policy JSON round-trip makes identical decisions on arbitrary
+    /// in-range observations.
+    #[test]
+    fn policy_json_round_trip_decisions(
+        seed in 0u64..500,
+        obs in prop::collection::vec(-1.0f32..1.0, 16),
+    ) {
+        let p = random_policy(3, seed);
+        let q = CoordinationPolicy::from_json(&p.to_json().unwrap()).unwrap();
+        prop_assert_eq!(p.act(&obs), q.act(&obs));
+        prop_assert!(p.act(&obs) < 4);
+    }
+
+    /// Per-event rewards are bounded by the terminal magnitudes, for any
+    /// event the simulator can emit.
+    #[test]
+    fn event_rewards_bounded(sim_seed in 0u64..200, policy_seed in 0u64..200) {
+        let scenario = ScenarioConfig::paper_base(2)
+            .with_pattern(ArrivalPattern::paper_poisson())
+            .with_horizon(600.0);
+        let reward = RewardConfig::default();
+        let mut sim = Simulation::new(scenario, sim_seed);
+        let diameter = sim.diameter();
+        let policy = random_policy(3, policy_seed);
+        let adapter = ObservationAdapter::new(3);
+        while let Some(dp) = sim.next_decision() {
+            let obs = adapter.observe(&sim, &dp);
+            sim.apply(Action::from_index(policy.act(&obs)));
+            for ev in sim.drain_events() {
+                let r = reward.event_reward(&ev, diameter);
+                prop_assert!((-10.0..=10.0).contains(&r), "{ev:?} -> {r}");
+                if matches!(ev, SimEvent::Forwarded { .. } | SimEvent::Held { .. }) {
+                    prop_assert!(r <= 0.0);
+                }
+                if matches!(ev, SimEvent::InstanceTraversed { .. }) {
+                    prop_assert!(r > 0.0 && r <= 1.0);
+                }
+            }
+        }
+    }
+
+    /// The observation adapter stays in range on every zoo topology, with
+    /// the adapter padded to that topology's degree.
+    #[test]
+    fn observations_valid_on_all_topologies(seed in 0u64..50, topo_idx in 0usize..4) {
+        let topo = dosco::topology::zoo::all().swap_remove(topo_idx);
+        let scenario = dosco_bench::scenarios::topology_scenario(topo, 250.0);
+        let degree = scenario.topology.network_degree();
+        let adapter = ObservationAdapter::new(degree);
+        let policy = random_policy(degree, seed);
+        let mut sim = Simulation::new(scenario, seed);
+        let mut checked = 0;
+        while let Some(dp) = sim.next_decision() {
+            let obs = adapter.observe(&sim, &dp);
+            prop_assert_eq!(obs.len(), 4 * degree + 4);
+            for &v in &obs {
+                prop_assert!((-1.0..=1.0).contains(&v) && v.is_finite());
+            }
+            sim.apply(Action::from_index(policy.act(&obs)));
+            checked += 1;
+            if checked > 400 {
+                break;
+            }
+        }
+        prop_assert!(checked > 0);
+    }
+
+    /// Success ratios of any coordinator on any base scenario stay within
+    /// [0, 1] and the metrics identity holds.
+    #[test]
+    fn metrics_identity_under_random_policies(
+        seed in 0u64..300,
+        ingress in 1usize..=5,
+    ) {
+        let scenario = ScenarioConfig::paper_base(ingress)
+            .with_pattern(ArrivalPattern::paper_mmpp())
+            .with_horizon(700.0);
+        let policy = random_policy(3, seed);
+        let mut agents =
+            dosco::core::DistributedAgents::deploy(&policy, scenario.topology.num_nodes());
+        let mut sim = Simulation::new(scenario, seed);
+        let m = sim.run(&mut agents).clone();
+        prop_assert!((0.0..=1.0).contains(&m.success_ratio()));
+        prop_assert_eq!(m.arrived, m.completed + m.dropped_total() + m.in_flight());
+    }
+}
