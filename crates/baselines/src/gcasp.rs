@@ -56,7 +56,7 @@ impl Gcasp {
             let key = (can_process, !bounce, -delay);
             if best
                 .as_ref()
-                .map_or(true, |(_, bk)| key > *bk)
+                .is_none_or(|(_, bk)| key > *bk)
             {
                 best = Some((idx, key));
             }

@@ -4,9 +4,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dosco_baselines::gcasp::Gcasp;
+use dosco_bench::runner::Algo;
 use dosco_bench::scenarios::topology_scenario;
+use dosco_core::{CoordEnv, RewardConfig};
+use dosco_nn::mlp::Mlp;
+use dosco_nn::par;
+use dosco_rl::rollout::RolloutCollector;
+use dosco_rl::Env;
 use dosco_simnet::Simulation;
 use dosco_topology::zoo;
+use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_episode(c: &mut Criterion) {
@@ -55,9 +62,76 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// Rollout collection over 8 parallel coordination envs, 1 vs 4 pool
+/// threads — env stepping fans out, policy sampling stays serial.
+fn bench_rollout_collection(c: &mut Criterion) {
+    let scenario = dosco_bench::base_scenario(
+        2,
+        dosco_traffic::ArrivalPattern::paper_poisson(),
+        200.0,
+    );
+    let degree = scenario.topology.network_degree();
+    let (obs_dim, num_actions) = (4 * degree + 4, degree + 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let actor = Mlp::paper_arch(obs_dim, num_actions, &mut rng);
+    let critic = Mlp::paper_arch(obs_dim, 1, &mut rng);
+    let mut group = c.benchmark_group("simnet/rollout-8-envs-16-steps");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("{threads}-threads"), |b| {
+            b.iter(|| {
+                par::with_threads(threads, || {
+                    let mut envs: Vec<Box<dyn Env>> = (0..8)
+                        .map(|i| {
+                            Box::new(CoordEnv::new(
+                                scenario.clone(),
+                                RewardConfig::default(),
+                                100 + i,
+                                None,
+                            )) as Box<dyn Env>
+                        })
+                        .collect();
+                    let mut col = RolloutCollector::new(&mut envs);
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                    black_box(
+                        col.collect(&mut envs, &actor, &critic, 16, 0.99, 0.95, &mut rng)
+                            .reward_sum,
+                    )
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Multi-seed evaluation fan-out (`Algo::evaluate`), 1 vs 4 pool threads.
+fn bench_eval_fan_out(c: &mut Criterion) {
+    let scenario = dosco_bench::base_scenario(
+        2,
+        dosco_traffic::ArrivalPattern::paper_poisson(),
+        500.0,
+    );
+    let seeds: Vec<u64> = (0..8).collect();
+    let mut group = c.benchmark_group("simnet/eval-8-seed-fan-out");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{threads}-threads")),
+            |b| {
+                b.iter(|| {
+                    par::with_threads(threads, || {
+                        black_box(Algo::Gcasp.evaluate(&scenario, &seeds).mean_success)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_episode, bench_event_queue
+    targets = bench_episode, bench_event_queue, bench_rollout_collection, bench_eval_fan_out
 }
 criterion_main!(benches);

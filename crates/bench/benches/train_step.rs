@@ -6,9 +6,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dosco_nn::kfac::{Kfac, KfacConfig};
 use dosco_nn::linalg::damped_inverse;
 use dosco_nn::matrix::Matrix;
-use dosco_nn::mlp::Mlp;
+use dosco_nn::mlp::{Activation, Mlp};
 use dosco_nn::optim::{Optimizer, RmsProp};
-use rand::SeedableRng;
+use dosco_nn::par;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 const OBS: usize = 16; // Abilene: 4·3+4
@@ -22,6 +23,10 @@ fn setup() -> (Mlp, Matrix) {
     (net, x)
 }
 
+fn rand_matrix(rows: usize, cols: usize, rng: &mut rand::rngs::StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
 fn bench_forward_backward(c: &mut Criterion) {
     let (net, x) = setup();
     c.bench_function("train/forward-backward-64x(16-256-256-4)", |b| {
@@ -31,6 +36,64 @@ fn bench_forward_backward(c: &mut Criterion) {
             black_box(grads.global_norm())
         })
     });
+}
+
+/// Blocked vs naive kernels and 1 vs 4 pool threads, at the paper's
+/// per-update GEMM size and a larger 256-batch / 512-wide size.
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for &(batch, width) in &[(BATCH, 256usize), (256usize, 512usize)] {
+        let x = rand_matrix(batch, width, &mut rng);
+        let w = rand_matrix(width, width, &mut rng);
+        let d = rand_matrix(batch, width, &mut rng);
+        let mut group = c.benchmark_group(format!("train/gemm-fwd-bwd-{batch}x{width}"));
+        group.sample_size(20);
+        group.bench_function("naive-reference", |b| {
+            b.iter(|| {
+                black_box((
+                    x.matmul_ref(&w),
+                    d.matmul_transpose_ref(&w),
+                    x.transpose_matmul_ref(&d),
+                ))
+            })
+        });
+        group.bench_function("blocked-1-thread", |b| {
+            b.iter(|| {
+                par::with_threads(1, || {
+                    black_box((x.matmul(&w), d.matmul_transpose(&w), x.transpose_matmul(&d)))
+                })
+            })
+        });
+        group.bench_function("blocked-4-threads", |b| {
+            b.iter(|| {
+                par::with_threads(4, || {
+                    black_box((x.matmul(&w), d.matmul_transpose(&w), x.transpose_matmul(&d)))
+                })
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Forward+backward at 256-batch on a 512-wide net, 1 vs 4 threads.
+fn bench_forward_backward_scaling(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let net = Mlp::new(&[OBS, 512, 512, ACTS], Activation::Tanh, &mut rng);
+    let x = rand_matrix(256, OBS, &mut rng);
+    let mut group = c.benchmark_group("train/forward-backward-256x(16-512-512-4)");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("{threads}-threads"), |b| {
+            b.iter(|| {
+                par::with_threads(threads, || {
+                    let cache = net.forward_cached(black_box(&x));
+                    let grads = net.backward(&cache, &cache.output);
+                    black_box(grads.global_norm())
+                })
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_rmsprop_step(c: &mut Criterion) {
@@ -61,6 +124,33 @@ fn bench_kfac_step(c: &mut Criterion) {
     });
 }
 
+/// Fresh K-FAC first step (factor stats + all Cholesky inversions — the
+/// per-layer parallel stages) at 1 vs 4 threads on a 512-wide net.
+fn bench_kfac_scaling(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let net = Mlp::new(&[OBS, 512, 512, ACTS], Activation::Tanh, &mut rng);
+    let x = rand_matrix(256, OBS, &mut rng);
+    let cache = net.forward_cached(&x);
+    let grads = net.backward(&cache, &cache.output);
+    let fg: Vec<&Matrix> = grads.layers.iter().map(|l| &l.preact_grads).collect();
+    let mut group = c.benchmark_group("train/kfac-stats+inversions-512");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("{threads}-threads"), |b| {
+            b.iter(|| {
+                par::with_threads(threads, || {
+                    let mut net = net.clone();
+                    let mut kfac = Kfac::new(&net, KfacConfig::default());
+                    kfac.update_stats(&cache, &fg);
+                    kfac.step(&mut net, &grads).expect("spd factors");
+                    black_box(net.num_params())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_kfac_inversion(c: &mut Criterion) {
     // The 257×257 damped inversion that K-FAC amortizes over
     // `inverse_period` updates.
@@ -78,6 +168,7 @@ fn bench_kfac_inversion(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_forward_backward, bench_rmsprop_step, bench_kfac_step, bench_kfac_inversion
+    targets = bench_forward_backward, bench_gemm_kernels, bench_forward_backward_scaling,
+        bench_rmsprop_step, bench_kfac_step, bench_kfac_scaling, bench_kfac_inversion
 }
 criterion_main!(benches);

@@ -36,12 +36,12 @@ fn main() {
         trained.policy.metadata.score
     );
 
-    // In-distribution: the canonical draw, traffic seeds only.
-    let in_dist: Vec<Metrics> = budget
-        .eval_seeds
-        .iter()
-        .map(|&s| evaluate(&trained.policy, &scenario, s))
-        .collect();
+    // In-distribution: the canonical draw, traffic seeds only (seeds fan
+    // out over the worker pool; results stay in seed order).
+    let in_dist: Vec<Metrics> =
+        dosco_nn::par::par_map(&budget.eval_seeds, |_, &s| {
+            evaluate(&trained.policy, &scenario, s)
+        });
     let mean_in =
         in_dist.iter().map(Metrics::success_ratio).sum::<f64>() / in_dist.len() as f64;
 
@@ -49,15 +49,11 @@ fn main() {
     let transfer = Algo::DistDrl(trained.policy.clone()).evaluate(&scenario, &budget.eval_seeds);
 
     // Heuristics on the canonical draw for reference.
-    let gcasp: Vec<Metrics> = budget
-        .eval_seeds
-        .iter()
-        .map(|&s| {
-            let mut c = dosco_baselines::Gcasp::new();
-            let mut sim = Simulation::new(scenario.clone(), s);
-            sim.run(&mut c).clone()
-        })
-        .collect();
+    let gcasp: Vec<Metrics> = dosco_nn::par::par_map(&budget.eval_seeds, |_, &s| {
+        let mut c = dosco_baselines::Gcasp::new();
+        let mut sim = Simulation::new(scenario.clone(), s);
+        sim.run(&mut c).clone()
+    });
     let mean_gcasp =
         gcasp.iter().map(Metrics::success_ratio).sum::<f64>() / gcasp.len() as f64;
 

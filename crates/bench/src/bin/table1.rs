@@ -10,8 +10,8 @@ use dosco_topology::zoo;
 fn main() {
     println!("TABLE I: Real-world network topologies [9]");
     println!(
-        "{:<14} {:>5} {:>5}   {}",
-        "Network", "Nodes", "Edges", "Degree (Min./Max./Avg.)"
+        "{:<14} {:>5} {:>5}   Degree (Min./Max./Avg.)",
+        "Network", "Nodes", "Edges"
     );
     for row in zoo::table1() {
         println!("{row}");

@@ -139,16 +139,17 @@ impl Algo {
     /// deviation over 30 random seeds" shows variance even under
     /// deterministic fixed arrivals, so the seeds must cover the random
     /// scenario draw, not just the traffic.
+    /// Seeds fan out over the worker pool (`DOSCO_THREADS`); each seed is
+    /// a self-contained simulation with its own RNG streams, so the
+    /// per-seed metrics — and their aggregation order — are identical to
+    /// a serial run.
     pub fn evaluate(&self, scenario: &ScenarioConfig, eval_seeds: &[u64]) -> EvalStats {
-        let metrics: Vec<Metrics> = eval_seeds
-            .iter()
-            .map(|&seed| {
-                let scenario = scenario_with_capacity_seed(scenario, seed);
-                let mut coordinator = self.coordinator(&scenario);
-                let mut sim = Simulation::new(scenario, seed);
-                sim.run(coordinator.as_mut()).clone()
-            })
-            .collect();
+        let metrics: Vec<Metrics> = dosco_nn::par::par_map(eval_seeds, |_, &seed| {
+            let scenario = scenario_with_capacity_seed(scenario, seed);
+            let mut coordinator = self.coordinator(&scenario);
+            let mut sim = Simulation::new(scenario, seed);
+            sim.run(coordinator.as_mut()).clone()
+        });
         EvalStats::from_metrics(metrics)
     }
 }

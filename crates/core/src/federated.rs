@@ -148,8 +148,8 @@ impl NodeLearner {
 
         let critic_cache = self.critic.forward_cached(&obs);
         let mut dv = Matrix::zeros(batch, 1);
-        for i in 0..batch {
-            dv.set(i, 0, (critic_cache.output.get(i, 0) - returns[i]) / batch as f32);
+        for (i, &ret) in returns.iter().enumerate().take(batch) {
+            dv.set(i, 0, (critic_cache.output.get(i, 0) - ret) / batch as f32);
         }
         let mut critic_grads = self.critic.backward(&critic_cache, &dv);
         critic_grads.clip_global_norm(0.5);
@@ -316,7 +316,7 @@ pub fn train_per_node(
         }
         // Periodic federated synchronization.
         if let Some(interval) = config.sync_interval {
-            if decisions % interval == 0 {
+            if decisions.is_multiple_of(interval) {
                 fed_avg(&mut learners);
             }
         }

@@ -133,9 +133,7 @@ impl ObservationAdapter {
                 }
             }
             None => {
-                for _ in 0..=neighbors.len() {
-                    obs.push(0.0);
-                }
+                obs.extend(std::iter::repeat_n(0.0, neighbors.len() + 1));
             }
         }
         for _ in neighbors.len()..self.degree {
@@ -263,11 +261,18 @@ mod tests {
 
     #[test]
     fn dummy_neighbors_are_minus_one() {
-        // Abilene node v1 (NewYork) has 2 neighbors; padded to Δ_G = 3,
-        // so the last R^L slot must be the dummy −1.
+        // Several Abilene nodes have 2 neighbors; padded to Δ_G = 3, the
+        // last R^L slot at such a node must be the dummy −1. Advance to
+        // the first decision at a degree-2 node (which node decides first
+        // depends on the arrival RNG stream).
         let mut s = sim();
-        let dp = s.next_decision().unwrap();
-        assert_eq!(s.topology().degree(dp.node), 2);
+        let dp = loop {
+            let dp = s.next_decision().expect("a degree-2 node decides");
+            if s.topology().degree(dp.node) == 2 {
+                break dp;
+            }
+            s.apply(Action::Local);
+        };
         let adapter = ObservationAdapter::new(3);
         let obs = adapter.observe(&s, &dp);
         // R^L occupies obs[2..5]; slot for the non-existent 3rd neighbor:

@@ -241,7 +241,7 @@ pub fn train_distributed(scenario: &ScenarioConfig, config: &TrainConfig) -> Tra
                 })
                 .sum::<f32>()
                 / 3.0;
-            if best.as_ref().map_or(true, |(s, _)| score > *s) {
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
                 best = Some((score, policy));
             }
         }

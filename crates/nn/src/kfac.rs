@@ -13,6 +13,7 @@
 use crate::linalg::{damped_inverse, symmetrize, LinalgError};
 use crate::matrix::Matrix;
 use crate::mlp::{ForwardCache, Gradients, LayerGrads, Mlp};
+use crate::par;
 use serde::{Deserialize, Serialize};
 
 /// K-FAC hyperparameters.
@@ -119,7 +120,10 @@ impl Kfac {
             "one Fisher gradient batch per layer required"
         );
         let decay = self.config.stat_decay;
-        for (i, factors) in self.layers.iter_mut().enumerate() {
+        // Each layer's factors depend only on that layer's inputs and
+        // Fisher gradients, so the layers update in parallel (the values
+        // are identical to the serial loop for any thread count).
+        par::par_map_mut(&mut self.layers, |i, factors| {
             let x = &cache.inputs[i];
             let batch = x.rows() as f32;
             assert!(batch > 0.0, "empty batch");
@@ -147,17 +151,23 @@ impl Kfac {
                 factors.g = g_new;
                 factors.initialized = true;
             }
-        }
+        });
     }
 
     fn refresh_inverses(&mut self) -> Result<(), LinalgError> {
-        for f in &mut self.layers {
+        let damping = self.config.damping;
+        // The two Cholesky inversions per layer are independent across
+        // layers; run them in parallel and surface the first (lowest-layer)
+        // error so failures are deterministic.
+        par::par_map_mut(&mut self.layers, |_, f| -> Result<(), LinalgError> {
             symmetrize(&mut f.a);
             symmetrize(&mut f.g);
-            f.a_inv = Some(damped_inverse(&f.a, self.config.damping)?);
-            f.g_inv = Some(damped_inverse(&f.g, self.config.damping)?);
-        }
-        Ok(())
+            f.a_inv = Some(damped_inverse(&f.a, damping)?);
+            f.g_inv = Some(damped_inverse(&f.g, damping)?);
+            Ok(())
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Applies one natural-gradient step for the true loss `grads`.
@@ -178,7 +188,8 @@ impl Kfac {
         assert_eq!(grads.layers.len(), self.layers.len(), "layer count mismatch");
         let mut grads = grads.clone();
         grads.clip_global_norm(self.config.max_grad_norm);
-        if self.steps % self.config.inverse_period == 0 || self.layers[0].a_inv.is_none() {
+        if self.steps.is_multiple_of(self.config.inverse_period) || self.layers[0].a_inv.is_none()
+        {
             self.refresh_inverses()?;
         }
         self.steps += 1;
@@ -339,7 +350,10 @@ mod tests {
             );
             let mut sgd = Sgd::new(0.004, 0.0); // near the stability limit
             let mut r = rng();
-            for _ in 0..60 {
+            // 300 steps: enough for K-FAC's trust-region-bounded updates to
+            // cross from any Xavier init to the optimum, while SGD is still
+            // stuck in the ill-conditioned direction (rate 1 − lr·λ_min).
+            for _ in 0..300 {
                 let cache = net.forward_cached(&x);
                 let dout = cache.output.sub(&y).scaled(1.0 / x.rows() as f32);
                 let grads = net.backward(&cache, &dout);

@@ -13,7 +13,10 @@
 //!   and Fisher-sampled logit gradients),
 //! - [`optim`]: SGD / RMSprop / Adam,
 //! - [`kfac`]: Kronecker-factored natural-gradient preconditioning with a
-//!   KL trust region (the core of ACKTR).
+//!   KL trust region (the core of ACKTR),
+//! - [`par`]: a persistent worker pool with deterministic data-parallel
+//!   primitives (sized by `DOSCO_THREADS`; results are bit-identical for
+//!   every thread count).
 //!
 //! Models serialize with serde, so trained policies can be copied to every
 //! node for distributed inference (Fig. 4b) and shipped as JSON artifacts.
@@ -41,6 +44,7 @@ pub mod linalg;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
+pub mod par;
 
 pub use dist::Categorical;
 pub use kfac::{Kfac, KfacConfig};

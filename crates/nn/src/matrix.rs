@@ -163,12 +163,136 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes to `rows × cols` in place, reusing the allocation where
+    /// possible; every element is reset to zero. The scratch-buffer
+    /// workhorse of the forward/backward passes.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self · other`.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self · other` written into a preallocated `out`
+    /// (`self.rows × other.cols`), overwriting its contents. The kernel is
+    /// cache-blocked and parallelizes over row blocks of `out` above a
+    /// size threshold; each output element accumulates in ascending-`k`
+    /// order with a single `f32` accumulator, so the result is
+    /// bit-identical to [`Matrix::matmul_ref`] for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` has the wrong shape.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        let (kk, n) = (self.cols, other.cols);
+        run_row_blocked(self.rows, kk, n, &mut out.data, |row0, out_block| {
+            matmul_block(&self.data, &other.data, out_block, row0, kk, n);
+        });
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (`self.rows != other.rows`).
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.transpose_matmul_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ · other` written into a preallocated `out`
+    /// (`self.cols × other.cols`), overwriting its contents. Blocked and
+    /// row-parallel like [`Matrix::matmul_into`]; bit-identical to
+    /// [`Matrix::transpose_matmul_ref`] for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `out` has the wrong shape.
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul shape mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "transpose_matmul output shape mismatch"
+        );
+        let (m, kk, n) = (self.cols, self.rows, other.cols);
+        run_row_blocked(m, kk, n, &mut out.data, |row0, out_block| {
+            transpose_matmul_block(&self.data, &other.data, out_block, row0, m, kk, n);
+        });
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (`self.cols != other.cols`).
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transpose_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` written into a preallocated `out`
+    /// (`self.rows × other.rows`), overwriting its contents. Blocked and
+    /// row-parallel like [`Matrix::matmul_into`]; bit-identical to
+    /// [`Matrix::matmul_transpose_ref`] for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `out` has the wrong shape.
+    pub fn matmul_transpose_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose shape mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.rows),
+            "matmul_transpose output shape mismatch"
+        );
+        let (kk, n) = (self.cols, other.rows);
+        run_row_blocked(self.rows, kk, n, &mut out.data, |row0, out_block| {
+            matmul_transpose_block(&self.data, &other.data, out_block, row0, kk, n);
+        });
+    }
+
+    /// Reference (naive triple-loop) `self · other`: the specification the
+    /// blocked kernel is property-tested against. Accumulates each output
+    /// element in ascending-`k` order, with no zero-skip fast path (a
+    /// skipped `0 · ∞` or `0 · NaN` would silently drop non-finite
+    /// operands instead of propagating them).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_ref(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
@@ -179,9 +303,6 @@ impl Matrix {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -191,12 +312,12 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ · other` without materializing the transpose.
+    /// Reference (naive) `selfᵀ · other`; see [`Matrix::matmul_ref`].
     ///
     /// # Panics
     ///
     /// Panics on dimension mismatch (`self.rows != other.rows`).
-    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+    pub fn transpose_matmul_ref(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "transpose_matmul shape mismatch: {}x{} vs {}x{}",
@@ -207,9 +328,6 @@ impl Matrix {
             let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
             let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -219,12 +337,12 @@ impl Matrix {
         out
     }
 
-    /// `self · otherᵀ` without materializing the transpose.
+    /// Reference (naive) `self · otherᵀ`; see [`Matrix::matmul_ref`].
     ///
     /// # Panics
     ///
     /// Panics on dimension mismatch (`self.cols != other.cols`).
-    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+    pub fn matmul_transpose_ref(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose shape mismatch: {}x{} vs {}x{}",
@@ -245,9 +363,24 @@ impl Matrix {
         out
     }
 
-    /// The transpose.
+    /// The transpose (blocked copy: both source columns and destination
+    /// rows stay cache-resident within a tile).
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+        const TB: usize = 32;
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r0 in (0..self.rows).step_by(TB) {
+            let r1 = (r0 + TB).min(self.rows);
+            for c0 in (0..self.cols).step_by(TB) {
+                let c1 = (c0 + TB).min(self.cols);
+                for r in r0..r1 {
+                    let src = &self.data[r * self.cols..(r + 1) * self.cols];
+                    for (c, &v) in src.iter().enumerate().take(c1).skip(c0) {
+                        out.data[c * self.rows + r] = v;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Element-wise sum `self + other`.
@@ -389,6 +522,149 @@ impl Matrix {
     /// Largest absolute element.
     pub fn max_abs(&self) -> f32 {
         self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+/// Rows of `out` processed per parallel chunk. The partition never affects
+/// values (each element belongs to exactly one chunk), only load balance.
+const ROW_BLOCK: usize = 32;
+/// Panel width over the contraction dimension `k`: bounds the slice of the
+/// non-output operand kept hot in cache while sweeping a row block.
+const K_BLOCK: usize = 64;
+/// Panel width over output columns: one `f32` panel row is 1 KiB, so a
+/// `K_BLOCK × J_BLOCK` panel of `B` stays L2-resident.
+const J_BLOCK: usize = 256;
+/// Below this many multiply-adds the pool dispatch overhead dominates and
+/// the product runs inline on the calling thread.
+const PAR_MIN_FLOPS: usize = 1 << 17;
+
+/// Runs `kernel(row0, out_block)` over row blocks of the `m × n` output,
+/// in parallel when the product is large enough. Each kernel call owns
+/// rows `row0 .. row0 + out_block.len() / n` exclusively.
+fn run_row_blocked(
+    m: usize,
+    kk: usize,
+    n: usize,
+    out: &mut [f32],
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if n == 0 || m == 0 {
+        return;
+    }
+    if m.saturating_mul(kk).saturating_mul(n) < PAR_MIN_FLOPS {
+        kernel(0, out);
+        return;
+    }
+    crate::par::par_chunks_mut(out, ROW_BLOCK * n, |block_idx, out_block| {
+        kernel(block_idx * ROW_BLOCK, out_block);
+    });
+}
+
+/// `C[row0.., :] = A[row0.., :] · B` for `out_block.len() / n` rows.
+/// Per element: ascending-`k` accumulation (k panels ascending, `k` within
+/// each panel ascending), identical to the naive `(i, k, j)` loop.
+fn matmul_block(a: &[f32], b: &[f32], out_block: &mut [f32], row0: usize, kk: usize, n: usize) {
+    out_block.fill(0.0);
+    let rows = out_block.len() / n;
+    for k0 in (0..kk).step_by(K_BLOCK) {
+        let k1 = (k0 + K_BLOCK).min(kk);
+        for j0 in (0..n).step_by(J_BLOCK) {
+            let j1 = (j0 + J_BLOCK).min(n);
+            for r in 0..rows {
+                let a_row = &a[(row0 + r) * kk..(row0 + r) * kk + kk];
+                let out_seg = &mut out_block[r * n + j0..r * n + j1];
+                for k in k0..k1 {
+                    let av = a_row[k];
+                    let b_seg = &b[k * n + j0..k * n + j1];
+                    for (o, &bv) in out_seg.iter_mut().zip(b_seg) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C[row0.., :] = (Aᵀ)[row0.., :] · B` where `A` is `kk × m` (so row `i`
+/// of `C` reads column `i` of `A`). Same ascending-`k` per-element order
+/// as the naive `k`-outer loop.
+fn transpose_matmul_block(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    row0: usize,
+    m: usize,
+    kk: usize,
+    n: usize,
+) {
+    out_block.fill(0.0);
+    let rows = out_block.len() / n;
+    for k0 in (0..kk).step_by(K_BLOCK) {
+        let k1 = (k0 + K_BLOCK).min(kk);
+        for j0 in (0..n).step_by(J_BLOCK) {
+            let j1 = (j0 + J_BLOCK).min(n);
+            for r in 0..rows {
+                let i = row0 + r;
+                let out_seg = &mut out_block[r * n + j0..r * n + j1];
+                for k in k0..k1 {
+                    let av = a[k * m + i];
+                    let b_seg = &b[k * n + j0..k * n + j1];
+                    for (o, &bv) in out_seg.iter_mut().zip(b_seg) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C[row0.., :] = A[row0.., :] · Bᵀ` where `B` is `n × kk`: blocked dot
+/// products, four output columns at a time. Each output element keeps its
+/// own single accumulator advancing in ascending `k`, so the unroll only
+/// interleaves *independent* dependency chains (≈2× on long `k`) and every
+/// element stays bit-identical to the one-at-a-time naive dot.
+fn matmul_transpose_block(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    row0: usize,
+    kk: usize,
+    n: usize,
+) {
+    let rows = out_block.len() / n;
+    for j0 in (0..n).step_by(ROW_BLOCK) {
+        let j1 = (j0 + ROW_BLOCK).min(n);
+        for r in 0..rows {
+            let a_row = &a[(row0 + r) * kk..(row0 + r) * kk + kk];
+            let mut j = j0;
+            while j + 4 <= j1 {
+                let b0 = &b[j * kk..(j + 1) * kk];
+                let b1 = &b[(j + 1) * kk..(j + 2) * kk];
+                let b2 = &b[(j + 2) * kk..(j + 3) * kk];
+                let b3 = &b[(j + 3) * kk..(j + 4) * kk];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (k, &av) in a_row.iter().enumerate() {
+                    s0 += av * b0[k];
+                    s1 += av * b1[k];
+                    s2 += av * b2[k];
+                    s3 += av * b3[k];
+                }
+                out_block[r * n + j] = s0;
+                out_block[r * n + j + 1] = s1;
+                out_block[r * n + j + 2] = s2;
+                out_block[r * n + j + 3] = s3;
+                j += 4;
+            }
+            while j < j1 {
+                let b_row = &b[j * kk..(j + 1) * kk];
+                let mut s = 0.0;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    s += av * bv;
+                }
+                out_block[r * n + j] = s;
+                j += 1;
+            }
+        }
     }
 }
 

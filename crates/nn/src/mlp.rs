@@ -21,11 +21,21 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, z: &Matrix) -> Matrix {
+    /// Applies the activation in place so the forward pass can reuse the
+    /// pre-activation buffer instead of allocating.
+    fn apply_in_place(self, z: &mut Matrix) {
         match self {
-            Activation::Tanh => z.map(f32::tanh),
-            Activation::Relu => z.map(|v| v.max(0.0)),
-            Activation::Identity => z.clone(),
+            Activation::Tanh => {
+                for v in z.as_mut_slice() {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Relu => {
+                for v in z.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+            }
+            Activation::Identity => {}
         }
     }
 
@@ -82,10 +92,10 @@ impl Dense {
         &self.b
     }
 
-    fn forward(&self, x: &Matrix) -> Matrix {
-        let mut z = x.matmul(&self.w);
+    /// `z = x·W + b` into a preallocated `z` (`x.rows() × outputs`).
+    fn forward_into(&self, x: &Matrix, z: &mut Matrix) {
+        x.matmul_into(&self.w, z);
         z.add_row_broadcast(&self.b);
-        z
     }
 }
 
@@ -242,11 +252,19 @@ impl Mlp {
     ///
     /// Panics if `x.cols()` does not match the input dimension.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        // Ping-pong between the activation `h` and a scratch buffer `z`:
+        // after the first layer both keep their (maximum-width) allocation
+        // for the rest of the pass.
         let mut h = x.clone();
+        let mut z = Matrix::zeros(0, 0);
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward(&h);
-            h = if i == last { z } else { self.activation.apply(&z) };
+            z.reshape_zeroed(h.rows(), layer.outputs());
+            layer.forward_into(&h, &mut z);
+            if i != last {
+                self.activation.apply_in_place(&mut z);
+            }
+            std::mem::swap(&mut h, &mut z);
         }
         h
     }
@@ -257,9 +275,15 @@ impl Mlp {
         let mut h = x.clone();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            inputs.push(h.clone());
-            let z = layer.forward(&h);
-            h = if i == last { z } else { self.activation.apply(&z) };
+            let mut z = Matrix::zeros(h.rows(), layer.outputs());
+            layer.forward_into(&h, &mut z);
+            if i != last {
+                self.activation.apply_in_place(&mut z);
+            }
+            // Move `h` into the cache instead of cloning it; `z` becomes
+            // the next layer's input (and is cached by the next turn).
+            inputs.push(h);
+            h = z;
         }
         ForwardCache { inputs, output: h }
     }
@@ -306,10 +330,18 @@ impl Mlp {
             });
             if i > 0 {
                 // cache.inputs[i] is the activation output of layer i-1:
-                // chain through the activation derivative.
+                // chain through the activation derivative, in place on the
+                // input gradient (no intermediate derivative matrix).
                 let act = self.activation;
-                let deriv = cache.inputs[i].map(|a| act.derivative_from_output(a));
-                delta = dinput.hadamard(&deriv);
+                let mut dinput = dinput;
+                for (d, &a) in dinput
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(cache.inputs[i].as_slice())
+                {
+                    *d *= act.derivative_from_output(a);
+                }
+                delta = dinput;
             } else {
                 delta = dinput; // ∂L/∂input of the whole network
             }
@@ -496,8 +528,9 @@ mod tests {
 
     #[test]
     fn relu_and_identity_activations() {
-        assert_eq!(Activation::Relu.apply(&Matrix::from_rows(&[&[-1.0, 2.0]])),
-            Matrix::from_rows(&[&[0.0, 2.0]]));
+        let mut m = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        Activation::Relu.apply_in_place(&mut m);
+        assert_eq!(m, Matrix::from_rows(&[&[0.0, 2.0]]));
         assert_eq!(Activation::Identity.derivative_from_output(5.0), 1.0);
         assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
         assert_eq!(Activation::Relu.derivative_from_output(3.0), 1.0);

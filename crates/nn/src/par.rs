@@ -1,0 +1,449 @@
+//! A tiny persistent worker pool for deterministic data parallelism.
+//!
+//! Every parallel primitive here partitions work over *independent output
+//! ranges* (rows of a product matrix, layers of a network, evaluation
+//! seeds), so the result is bit-identical for any thread count: each output
+//! element is computed by exactly one closure invocation whose internal
+//! floating-point order does not depend on the partition. Nothing in this
+//! module may reduce across chunks.
+//!
+//! The pool is sized once per process from `DOSCO_THREADS` (default: the
+//! machine's available parallelism). Workers are spawned lazily on the
+//! first parallel call and park on a condvar between jobs, so a serial
+//! process (`DOSCO_THREADS=1`) never starts a thread. Tests can force a
+//! width in-process with [`with_threads`], which is how the equivalence
+//! suite checks 1-thread vs 4-thread runs inside one binary.
+//!
+//! Nested parallel calls (e.g. a matmul inside a parallel evaluation seed)
+//! detect that they already run inside a pool job and fall back to inline
+//! serial execution, so the pool never deadlocks on itself.
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hard cap on pool threads; beyond this, coordination overhead dominates
+/// for the matrix sizes this workspace uses.
+const MAX_POOL_THREADS: usize = 16;
+
+/// The pool keeps at least this many slots so [`with_threads`] up to 4 can
+/// exercise real cross-thread execution even when `DOSCO_THREADS=1`.
+const MIN_POOL_SLOTS: usize = 4;
+
+/// Chunks handed out per thread (load-balancing granularity).
+const CHUNKS_PER_THREAD: usize = 4;
+
+thread_local! {
+    /// Set while this thread executes a pool job: nested calls run inline.
+    static IN_JOB: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread width override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The configured parallel width: `DOSCO_THREADS` if set (values `< 1`
+/// are treated as 1), else `std::thread::available_parallelism()`.
+pub fn configured_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        match std::env::var("DOSCO_THREADS") {
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("DOSCO_THREADS must be an integer, got {v:?}"))
+                .max(1),
+            Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+        }
+        .min(MAX_POOL_THREADS)
+    })
+}
+
+/// The width parallel primitives use on *this* thread right now: 1 inside
+/// a pool job (nested calls are serial), else the [`with_threads`]
+/// override, else [`configured_threads`].
+pub fn current_threads() -> usize {
+    if IN_JOB.with(Cell::get) {
+        return 1;
+    }
+    OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(configured_threads)
+        .max(1)
+}
+
+/// Runs `f` with the parallel width forced to `n` on this thread
+/// (restored afterwards, also on panic). Used by the equivalence tests to
+/// compare serial and parallel kernels inside one process.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(Some(n.clamp(1, MAX_POOL_THREADS))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// A type-erased job: `run` claims and executes chunks from the `JobCtx`
+/// behind `ctx` until none remain.
+#[derive(Clone, Copy)]
+struct Task {
+    run: unsafe fn(*const ()),
+    ctx: *const (),
+}
+
+// The pointer is only dereferenced while the publishing thread blocks in
+// `Pool::run`, which keeps the referent alive (see the visitor protocol).
+unsafe impl Send for Task {}
+
+struct PoolState {
+    /// The currently published job, if any.
+    task: Option<Task>,
+    /// Bumped on every publication so a worker never re-enters a job it
+    /// already finished helping with.
+    epoch: u64,
+    /// Workers currently executing the published (or a just-retracted)
+    /// job. The publisher cannot return before this reaches zero, which
+    /// is what keeps `Task::ctx` alive for every dereference.
+    visitors: usize,
+    /// First panic payload captured from a worker, rethrown by the
+    /// publisher.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for a publication.
+    work_cv: Condvar,
+    /// The publisher parks here waiting for visitors to drain.
+    done_cv: Condvar,
+}
+
+struct JobCtx<'a, F> {
+    f: &'a F,
+    next: AtomicUsize,
+    num_chunks: usize,
+}
+
+/// Monomorphized trampoline: claims chunks until exhausted. Safety: `ctx`
+/// must point to a live `JobCtx<F>`; guaranteed by the visitor protocol.
+unsafe fn run_job<F: Fn(usize) + Sync>(ctx: *const ()) {
+    let job = &*(ctx as *const JobCtx<'_, F>);
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.num_chunks {
+            return;
+        }
+        (job.f)(i);
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IN_JOB.with(|f| f.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let task = {
+            let mut st = pool.state.lock();
+            loop {
+                if st.epoch != seen_epoch {
+                    if let Some(t) = st.task {
+                        seen_epoch = st.epoch;
+                        st.visitors += 1;
+                        break t;
+                    }
+                }
+                pool.work_cv.wait(&mut st);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (task.run)(task.ctx) }));
+        let mut st = pool.state.lock();
+        if let Err(payload) = result {
+            st.panic.get_or_insert(payload);
+        }
+        st.visitors -= 1;
+        if st.visitors == 0 {
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            state: Mutex::new(PoolState {
+                task: None,
+                epoch: 0,
+                visitors: 0,
+                panic: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }));
+        let workers = configured_threads().max(MIN_POOL_SLOTS) - 1;
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("dosco-par-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+impl Pool {
+    /// Publishes a job of `num_chunks` chunks, participates in executing
+    /// it, and returns once every chunk has run. Chunks are claimed
+    /// dynamically; each index `0..num_chunks` is executed exactly once.
+    fn run<F: Fn(usize) + Sync>(&self, num_chunks: usize, f: &F) {
+        let job = JobCtx {
+            f,
+            next: AtomicUsize::new(0),
+            num_chunks,
+        };
+        let task = Task {
+            run: run_job::<F>,
+            ctx: (&job as *const JobCtx<'_, F>).cast(),
+        };
+        {
+            let mut st = self.state.lock();
+            st.task = Some(task);
+            st.epoch += 1;
+            self.work_cv.notify_all();
+        }
+        // Participate from the publishing thread; mark it as in-job so the
+        // chunks it runs inline don't re-enter the pool.
+        IN_JOB.with(|fl| fl.set(true));
+        let own = catch_unwind(AssertUnwindSafe(|| unsafe { run_job::<F>(task.ctx) }));
+        IN_JOB.with(|fl| fl.set(false));
+        // Retract the job and wait for helpers to drain; only then is it
+        // safe to let `job` go out of scope.
+        let panic = {
+            let mut st = self.state.lock();
+            st.task = None;
+            while st.visitors > 0 {
+                self.done_cv.wait(&mut st);
+            }
+            st.panic.take()
+        };
+        if let Err(payload) = own {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Splits `0..n` into contiguous chunks of at least `grain` indices and
+/// runs `f` on each chunk, in parallel when the current width allows.
+///
+/// `f` must only write outputs owned by its own index range; under that
+/// contract the result is identical for every thread count and partition.
+pub fn par_for<F: Fn(Range<usize>) + Sync>(n: usize, grain: usize, f: F) {
+    if n == 0 {
+        return;
+    }
+    let width = current_threads();
+    let chunk = grain.max(n.div_ceil(width * CHUNKS_PER_THREAD)).max(1);
+    let num_chunks = n.div_ceil(chunk);
+    if width <= 1 || num_chunks <= 1 {
+        f(0..n);
+        return;
+    }
+    pool().run(num_chunks, &|i: usize| {
+        let start = i * chunk;
+        f(start..(start + chunk).min(n));
+    });
+}
+
+/// Splits `data` into consecutive pieces of `chunk_len` elements (the last
+/// may be shorter, as with [`slice::chunks_mut`]) and runs `f(piece_index,
+/// piece)` on each, in parallel when the current width allows.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let total = data.len();
+    let num_chunks = total.div_ceil(chunk_len);
+    if current_threads() <= 1 || num_chunks <= 1 {
+        for (i, piece) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, piece);
+        }
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    pool().run(num_chunks, &|i: usize| {
+        let start = i * chunk_len;
+        let len = chunk_len.min(total - start);
+        // Each index is claimed exactly once, so the pieces are disjoint.
+        let piece = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        f(i, piece);
+    });
+}
+
+/// Applies `f` to every item and collects the results in order, one pool
+/// chunk per item — intended for coarse work (an evaluation seed, a
+/// network layer), not per-element loops.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    par_chunks_mut(&mut out, 1, |i, slot| slot[0] = Some(f(i, &items[i])));
+    out.into_iter()
+        .map(|r| r.expect("every index executed"))
+        .collect()
+}
+
+/// Like [`par_map`] but with mutable access to each item (e.g. stepping
+/// environments in place while collecting their transition results).
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let items_ptr = SendPtr(items.as_mut_ptr());
+    par_chunks_mut(&mut out, 1, |i, slot| {
+        // Index `i` is visited exactly once, so this &mut is exclusive.
+        let item = unsafe { &mut *items_ptr.get().add(i) };
+        slot[0] = Some(f(i, item));
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index executed"))
+        .collect()
+}
+
+/// A raw pointer that may cross threads; every use derives disjoint
+/// regions from a uniquely-claimed chunk index. Accessed via [`SendPtr::get`]
+/// so closures capture the (Sync) wrapper, not the bare pointer field.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        for width in [1, 2, 4] {
+            with_threads(width, || {
+                let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+                par_for(1000, 16, |r| {
+                    for i in r {
+                        counts[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            });
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_partitions_like_chunks_mut() {
+        for width in [1, 4] {
+            with_threads(width, || {
+                let mut data = vec![0u32; 103];
+                par_chunks_mut(&mut data, 10, |i, piece| {
+                    for (j, v) in piece.iter_mut().enumerate() {
+                        *v = (i * 10 + j) as u32;
+                    }
+                });
+                let expect: Vec<u32> = (0..103).collect();
+                assert_eq!(data, expect);
+            });
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..57).collect();
+        let serial = with_threads(1, || par_map(&items, |_, &x| x * x));
+        let parallel = with_threads(4, || par_map(&items, |_, &x| x * x));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn par_map_mut_gives_exclusive_access() {
+        let mut items = vec![1u64; 64];
+        let sums = with_threads(4, || {
+            par_map_mut(&mut items, |i, v| {
+                *v += i as u64;
+                *v
+            })
+        });
+        assert_eq!(items[10], 11);
+        assert_eq!(sums[10], 11);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        with_threads(4, || {
+            let hits = AtomicU64::new(0);
+            par_for(8, 1, |outer| {
+                for _ in outer {
+                    // Inside a job the width collapses to 1, so this inner
+                    // call must not touch the pool.
+                    assert_eq!(current_threads(), 1);
+                    par_for(4, 1, |inner| {
+                        hits.fetch_add(inner.len() as u64, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 32);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_for(64, 1, |r| {
+                    if r.contains(&13) {
+                        panic!("boom at 13");
+                    }
+                });
+            });
+        });
+        assert!(result.is_err(), "panic must propagate");
+        // The pool must stay usable after a panicked job.
+        with_threads(4, || {
+            let n = AtomicUsize::new(0);
+            par_for(32, 1, |r| {
+                n.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            assert_eq!(n.load(Ordering::Relaxed), 32);
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let before = current_threads();
+        with_threads(3, || assert_eq!(current_threads(), 3));
+        assert_eq!(current_threads(), before);
+    }
+}

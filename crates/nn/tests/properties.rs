@@ -4,11 +4,22 @@ use dosco_nn::dist::{log_softmax_row, softmax_row, Categorical};
 use dosco_nn::linalg::damped_inverse;
 use dosco_nn::matrix::Matrix;
 use dosco_nn::mlp::{Activation, Mlp};
+use dosco_nn::par;
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-5.0f32..5.0, len)
+}
+
+fn rand_matrix(rows: usize, cols: usize, rng: &mut rand::rngs::StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-2.0f32..2.0))
+}
+
+/// Bit patterns of every element — the equivalence contract is *bit*
+/// identity (also distinguishes -0.0 from 0.0 and compares NaNs).
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
 }
 
 proptest! {
@@ -92,6 +103,64 @@ proptest! {
         prop_assert_eq!(out.clone(), net.forward(&Matrix::row_vector(&obs)));
     }
 
+    /// The blocked `matmul` kernel is bit-identical to the naive reference
+    /// at 1 and 4 threads, over shapes that cross every block boundary
+    /// (1×N, N×1, non-multiples of the 32/64/256 blocks).
+    #[test]
+    fn matmul_matches_reference_bitwise(
+        m in 1usize..=80, k in 1usize..=64, n in 1usize..=64, seed in 0u64..1000
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = rand_matrix(m, k, &mut rng);
+        let b = rand_matrix(k, n, &mut rng);
+        let reference = a.matmul_ref(&b);
+        let serial = par::with_threads(1, || a.matmul(&b));
+        let parallel = par::with_threads(4, || a.matmul(&b));
+        prop_assert_eq!(bits(&serial), bits(&reference));
+        prop_assert_eq!(bits(&parallel), bits(&reference));
+    }
+
+    /// Same contract for the fused `selfᵀ · other` kernel.
+    #[test]
+    fn transpose_matmul_matches_reference_bitwise(
+        m in 1usize..=64, k in 1usize..=80, n in 1usize..=64, seed in 0u64..1000
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = rand_matrix(k, m, &mut rng); // self is k×m, output m×n
+        let b = rand_matrix(k, n, &mut rng);
+        let reference = a.transpose_matmul_ref(&b);
+        let serial = par::with_threads(1, || a.transpose_matmul(&b));
+        let parallel = par::with_threads(4, || a.transpose_matmul(&b));
+        prop_assert_eq!(bits(&serial), bits(&reference));
+        prop_assert_eq!(bits(&parallel), bits(&reference));
+    }
+
+    /// Same contract for the fused `self · otherᵀ` kernel.
+    #[test]
+    fn matmul_transpose_matches_reference_bitwise(
+        m in 1usize..=80, k in 1usize..=64, n in 1usize..=64, seed in 0u64..1000
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = rand_matrix(m, k, &mut rng);
+        let b = rand_matrix(n, k, &mut rng); // other is n×k, output m×n
+        let reference = a.matmul_transpose_ref(&b);
+        let serial = par::with_threads(1, || a.matmul_transpose(&b));
+        let parallel = par::with_threads(4, || a.matmul_transpose(&b));
+        prop_assert_eq!(bits(&serial), bits(&reference));
+        prop_assert_eq!(bits(&parallel), bits(&reference));
+    }
+
+    /// The `*_into` variants overwrite stale output contents completely.
+    #[test]
+    fn into_variants_overwrite_stale_output(seed in 0u64..500) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = rand_matrix(5, 7, &mut rng);
+        let b = rand_matrix(7, 3, &mut rng);
+        let mut out = Matrix::from_fn(5, 3, |_, _| f32::NAN);
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(bits(&out), bits(&a.matmul_ref(&b)));
+    }
+
     /// apply_update with the negated gradient and tiny step never
     /// increases a quadratic loss (descent direction property).
     #[test]
@@ -110,5 +179,95 @@ proptest! {
         net.apply_update(&grads, -1e-4);
         let after = loss(&net);
         prop_assert!(after <= before + 1e-6, "{before} -> {after}");
+    }
+}
+
+/// Shapes big enough to clear the parallel-dispatch threshold (so the
+/// 4-thread run genuinely splits row blocks across pool workers), plus
+/// degenerate and off-block-boundary shapes.
+#[test]
+fn gemm_equivalence_at_paper_and_parallel_scale() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    for &(m, k, n) in &[
+        (96usize, 64usize, 96usize), // above threshold: parallel path
+        (256, 512, 256),             // large: many row blocks and k panels
+        (64, 16, 256),               // the paper's input layer at batch 64
+        (1, 500, 7),                 // single row
+        (500, 1, 7),                 // inner dimension 1
+        (33, 65, 257),               // one past every block size
+    ] {
+        let a = rand_matrix(m, k, &mut rng);
+        let b = rand_matrix(k, n, &mut rng);
+        let reference = a.matmul_ref(&b);
+        assert_eq!(
+            bits(&par::with_threads(1, || a.matmul(&b))),
+            bits(&reference),
+            "serial matmul {m}x{k}x{n}"
+        );
+        assert_eq!(
+            bits(&par::with_threads(4, || a.matmul(&b))),
+            bits(&reference),
+            "parallel matmul {m}x{k}x{n}"
+        );
+
+        let at = rand_matrix(k, m, &mut rng);
+        let reference = at.transpose_matmul_ref(&b);
+        assert_eq!(
+            bits(&par::with_threads(4, || at.transpose_matmul(&b))),
+            bits(&reference),
+            "parallel transpose_matmul {m}x{k}x{n}"
+        );
+
+        let bt = rand_matrix(n, k, &mut rng);
+        let reference = a.matmul_transpose_ref(&bt);
+        assert_eq!(
+            bits(&par::with_threads(4, || a.matmul_transpose(&bt))),
+            bits(&reference),
+            "parallel matmul_transpose {m}x{k}x{n}"
+        );
+    }
+}
+
+/// The zero fast path the naive kernels used to take silently dropped
+/// non-finite operands (`0 · ∞` and `0 · NaN` are NaN, not 0); the
+/// blocked kernels and the references must propagate them.
+#[test]
+fn gemm_propagates_nan_and_inf_through_zero_rows() {
+    let a = Matrix::from_rows(&[&[0.0, 1.0]]);
+    let b = Matrix::from_rows(&[&[f32::NAN, f32::INFINITY], &[1.0, 2.0]]);
+    let c = a.matmul(&b);
+    assert!(c.get(0, 0).is_nan(), "0·NaN + 1·1 must be NaN");
+    assert!(c.get(0, 1).is_nan(), "0·∞ + 1·2 must be NaN");
+    assert_eq!(bits(&c), bits(&a.matmul_ref(&b)));
+
+    let at = Matrix::from_rows(&[&[0.0], &[1.0]]); // (Aᵀ = [0, 1])
+    let c = at.transpose_matmul(&b);
+    assert!(c.get(0, 0).is_nan());
+    assert_eq!(bits(&c), bits(&at.transpose_matmul_ref(&b)));
+
+    let bt = Matrix::from_rows(&[&[f32::NAN, 1.0], &[f32::INFINITY, 2.0]]);
+    let c = a.matmul_transpose(&bt);
+    assert!(c.get(0, 0).is_nan(), "0·NaN + 1·1 must be NaN");
+    assert_eq!(bits(&c), bits(&a.matmul_transpose_ref(&bt)));
+}
+
+/// Full forward/backward at the paper's architecture is bit-identical at
+/// 1 and 4 threads (the partition only splits independent output rows).
+#[test]
+fn mlp_forward_backward_thread_invariant() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let net = Mlp::paper_arch(16, 4, &mut rng);
+    let x = rand_matrix(64, 16, &mut rng);
+    let run = || {
+        let cache = net.forward_cached(&x);
+        let grads = net.backward(&cache, &cache.output);
+        (cache, grads)
+    };
+    let (c1, g1) = par::with_threads(1, run);
+    let (c4, g4) = par::with_threads(4, run);
+    assert_eq!(bits(&c1.output), bits(&c4.output));
+    for (a, b) in g1.layers.iter().zip(&g4.layers) {
+        assert_eq!(bits(&a.dw), bits(&b.dw));
+        assert_eq!(a.db, b.db);
     }
 }

@@ -96,7 +96,7 @@ pub(crate) fn ppo_logit_gradients(
         let active = ratio * adv <= clipped_ratio * adv + 1e-12;
         let h = entropies[r];
         let row = out.row_mut(r);
-        for j in 0..k {
+        for (j, slot) in row.iter_mut().enumerate().take(k) {
             let p = probs.get(r, j);
             let onehot = if j == actions[r] { 1.0 } else { 0.0 };
             // ∇logits of −ρ·A·log-prob term: ρ·A·(π − onehot).
@@ -104,7 +104,7 @@ pub(crate) fn ppo_logit_gradients(
             // Entropy ascent (loss includes −β·H): β·π(logπ + H).
             let lpj = if p > 0.0 { p.ln() } else { 0.0 };
             let ent = ent_coef * p * (lpj + h);
-            row[j] = (pg + ent) / b;
+            *slot = (pg + ent) / b;
         }
     }
     out

@@ -50,7 +50,7 @@ impl Env for Mimic {
         StepResult {
             obs: self.obs(),
             reward,
-            done: self.t % 32 == 0,
+            done: self.t.is_multiple_of(32),
         }
     }
 }

@@ -183,7 +183,7 @@ pub(crate) enum QueuedEvent {
 
 /// A strictly ordered simulation timestamp. Construction validates against
 /// NaN so the event queue's ordering is total.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct SimTime(f64);
 
 impl SimTime {
@@ -198,6 +198,12 @@ impl SimTime {
 }
 
 impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {

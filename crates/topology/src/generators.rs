@@ -139,7 +139,7 @@ pub fn random_geometric(
             for j in (i + 1)..n {
                 if comp[i] != comp[j] {
                     let d = great_circle_km(pos[i], pos[j]);
-                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
                         best = Some((i, j, d));
                     }
                 }
@@ -254,10 +254,9 @@ pub fn reconstruct_degree_profile(
     let mut deg = vec![0usize; n];
     let add = |b: &mut TopologyBuilder, deg: &mut Vec<usize>, i: usize, j: usize| {
         b.add_link_geo(NodeId(i), NodeId(j), 1.0, US_PER_KM)
-            .map(|l| {
+            .inspect(|_| {
                 deg[i] += 1;
                 deg[j] += 1;
-                l
             })
     };
 

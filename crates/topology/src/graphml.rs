@@ -274,13 +274,11 @@ pub fn parse(xml: &str, name: &str) -> Result<Topology, GraphmlError> {
                 self_closing,
             } => match tag.as_str() {
                 "graph" => saw_graph = true,
-                "key" => {
-                    if attrs.get("for").map(String::as_str) == Some("node") {
-                        if let (Some(id), Some(attr_name)) =
-                            (attrs.get("id"), attrs.get("attr.name"))
-                        {
-                            node_keys.insert(id.clone(), attr_name.clone());
-                        }
+                "key" if attrs.get("for").map(String::as_str) == Some("node") => {
+                    if let (Some(id), Some(attr_name)) =
+                        (attrs.get("id"), attrs.get("attr.name"))
+                    {
+                        node_keys.insert(id.clone(), attr_name.clone());
                     }
                 }
                 "node" => {
@@ -312,10 +310,8 @@ pub fn parse(xml: &str, name: &str) -> Result<Topology, GraphmlError> {
                         .ok_or_else(|| GraphmlError::UnknownNodeRef(t.clone()))?;
                     edges.push((sv, tv));
                 }
-                "data" => {
-                    if current_node.is_some() && !self_closing {
-                        current_data_key = attrs.get("key").cloned();
-                    }
+                "data" if current_node.is_some() && !self_closing => {
+                    current_data_key = attrs.get("key").cloned();
                 }
                 _ => {}
             },

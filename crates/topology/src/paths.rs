@@ -87,9 +87,7 @@ impl ShortestPaths {
                     }
                 }
             }
-            for t in 0..n {
-                next_hop[row + t] = first[t];
-            }
+            next_hop[row..row + n].copy_from_slice(&first);
         }
         ShortestPaths { n, dist, next_hop }
     }

@@ -191,7 +191,7 @@ mod tests {
         assert_eq!(t.num_links(), 66);
         let s = DegreeStats::of(&t);
         assert_eq!((s.min, s.max), (1, 20));
-        assert!((s.avg - 3.142).abs() < 0.01);
+        assert!((s.avg - 66.0 * 2.0 / 42.0).abs() < 0.01);
         assert!(t.is_connected());
     }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, lints, and bench compilation.
+# Usage: scripts/check.sh   (run from anywhere; cd's to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo bench (compile only) =="
+cargo bench --no-run --workspace
+
+echo "All checks passed."

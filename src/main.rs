@@ -156,8 +156,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
 fn cmd_topo(_args: &[String]) -> ExitCode {
     println!(
-        "{:<14} {:>5} {:>5}   {}",
-        "Network", "Nodes", "Edges", "Degree (Min./Max./Avg.)"
+        "{:<14} {:>5} {:>5}   Degree (Min./Max./Avg.)",
+        "Network", "Nodes", "Edges"
     );
     for row in zoo::all().iter().map(TopologyRow::of) {
         println!("{row}");

@@ -1,0 +1,356 @@
+//! Offline in-repo stand-in for the `criterion` bench API this workspace
+//! uses. Each benchmark estimates its per-iteration time (warm-up to size
+//! the batch, then `sample_size` timed batches) and prints the median with
+//! min/max spread in criterion-like text form. No statistics beyond that,
+//! no HTML reports, no baselines.
+#![allow(clippy::all)] // vendored stand-in: keep diff-from-upstream minimal
+
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group (mirrors `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// How per-iteration inputs are batched in `iter_batched` (subset).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in upstream criterion; here inputs are
+    /// always prepared one call ahead of each timed routine.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measures a single benchmark routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Measured median, filled by an `iter*` call.
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy)]
+struct Sample {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    iters_per_sample: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    /// Target wall time per sample batch.
+    sample_target: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            sample_target: Duration::from_millis(10),
+            warm_up: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size that runs ~sample_target.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.config.warm_up.as_nanos() as u64 / warm_iters.max(1);
+        let iters = (self.config.sample_target.as_nanos() as u64 / per_iter.max(1)).clamp(1, 1 << 20);
+
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed() / iters as u32);
+        }
+        self.record(samples, iters);
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up.
+        let warm_start = Instant::now();
+        let mut timed = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            timed += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (timed.as_nanos() as u64 / warm_iters.max(1)).max(1);
+        let iters = (self.config.sample_target.as_nanos() as u64 / per_iter).clamp(1, 1 << 20);
+
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                total += t.elapsed();
+            }
+            samples.push(total / iters as u32);
+        }
+        self.record(samples, iters);
+    }
+
+    /// Like `iter_batched`, but the routine takes the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+
+    fn record(&mut self, mut samples: Vec<Duration>, iters: u64) {
+        samples.sort_unstable();
+        self.result = Some(Sample {
+            median: samples[samples.len() / 2],
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(name: &str, config: &Config, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut b = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(s) => println!(
+            "{name:<60} time: [{} {} {}]  ({} iters/sample, {} samples)",
+            fmt_duration(s.min),
+            fmt_duration(s.median),
+            fmt_duration(s.max),
+            s.iters_per_sample,
+            config.sample_size,
+        ),
+        None => println!("{name:<60} (no measurement recorded)"),
+    }
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config::default(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Sets the target measurement time per sample batch.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.sample_target = (d / self.config.sample_size as u32).max(Duration::from_millis(1));
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &self.config, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, &self.config, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, &self.config, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond upstream API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default().sample_size(3);
+        c.config.warm_up = Duration::from_millis(2);
+        c.config.sample_target = Duration::from_millis(1);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default().sample_size(2);
+        c.config.warm_up = Duration::from_millis(2);
+        c.config.sample_target = Duration::from_millis(1);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| {
+            b.iter_batched(|| vec![x; 8], |v| v.iter().sum::<u32>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("abi").to_string(), "abi");
+    }
+}
