@@ -1,8 +1,9 @@
-//! Machine-readable performance report for the parallel compute layer:
-//! times the blocked GEMM kernels against the retained naive references,
-//! and the pool-parallel stages (forward/backward, K-FAC, rollout
-//! collection, eval fan-out) at 1 vs 4 worker threads, then writes
-//! `BENCH_PR2.json` at the repo root (or `--out <path>`).
+//! Machine-readable performance report for the parallel compute layer and
+//! the actor–learner runtime: times the blocked GEMM kernels against the
+//! retained naive references, the pool-parallel stages (forward/backward,
+//! K-FAC, rollout collection, eval fan-out) at 1 vs 4 worker threads, and
+//! serial vs actor–learner training throughput (`dosco_runtime`), then
+//! writes `BENCH_PR3.json` at the repo root (or `--out <path>`).
 //!
 //! All timings are best-of-N wall clock. Thread-scaling numbers are only
 //! meaningful when the host has multiple cores; the report records the
@@ -174,9 +175,62 @@ fn eval_threads(note: &str) -> BenchRecord {
     BenchRecord::new("eval/8-seed-fan-out", "1 thread", "4 threads", t1, t4, note)
 }
 
+/// Serial `A2c::train` vs the actor–learner runtime over the same A2C
+/// workload on the base scenario (4 envs × 8-step batches). Sync mode
+/// measures pure transport overhead (its result is bit-identical to
+/// serial); async mode is where overlap can pay off on multi-core hosts.
+fn runtime_throughput(mode: &str, note: &str) -> BenchRecord {
+    use dosco_rl::a2c::{A2c, A2cConfig};
+    let scenario = base_scenario(1, dosco_traffic::ArrivalPattern::paper_poisson(), 200.0);
+    let degree = scenario.topology.network_degree();
+    let (obs_dim, num_actions) = (4 * degree + 4, degree + 1);
+    let cfg = A2cConfig {
+        n_steps: 8,
+        hidden: [64, 64],
+        ..A2cConfig::default()
+    };
+    let total_steps = 640;
+    let make_envs = || -> Vec<Box<dyn Env>> {
+        (0..4)
+            .map(|i| {
+                Box::new(CoordEnv::new(
+                    scenario.clone(),
+                    RewardConfig::default(),
+                    300 + i,
+                    None,
+                )) as Box<dyn Env>
+            })
+            .collect()
+    };
+    let serial = time_ms(5, || {
+        let mut agent = A2c::new(obs_dim, num_actions, cfg, 1);
+        let mut envs = make_envs();
+        agent.train(&mut envs, total_steps).total_steps
+    });
+    let rt_cfg = match mode {
+        "sync" => dosco_runtime::RuntimeConfig::sync(),
+        _ => dosco_runtime::RuntimeConfig::async_with_actors(2),
+    };
+    let runtime = time_ms(5, || {
+        let mut agent = A2c::new(obs_dim, num_actions, cfg, 1);
+        let mut envs = make_envs();
+        dosco_runtime::train(&mut agent, &mut envs, total_steps, &rt_cfg)
+            .stats
+            .total_steps
+    });
+    BenchRecord::new(
+        &format!("runtime/a2c-640-steps-{mode}"),
+        "serial A2c::train",
+        &format!("dosco_runtime {mode} mode"),
+        serial,
+        runtime,
+        note,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let thread_note = if host >= 4 {
         "threads 1 vs 4 on the shared worker pool".to_string()
@@ -205,6 +259,21 @@ fn main() {
     records.push(rollout_threads(&thread_note));
     eprintln!("[perf_report] eval fan-out thread scaling...");
     records.push(eval_threads(&thread_note));
+    let runtime_note = if host >= 2 {
+        "actor-learner runtime vs serial loop; sync is lockstep (overhead \
+         only, bit-identical result), async overlaps collection and updates"
+            .to_string()
+    } else {
+        format!(
+            "host has {host} core(s): actor and learner threads timeshare, so \
+             the runtime cannot beat the serial loop here; the record measures \
+             transport overhead, not the multi-core speedup"
+        )
+    };
+    eprintln!("[perf_report] runtime throughput (sync)...");
+    records.push(runtime_throughput("sync", &runtime_note));
+    eprintln!("[perf_report] runtime throughput (async)...");
+    records.push(runtime_throughput("async", &runtime_note));
 
     let report = BenchReport {
         generated_by: "dosco-bench perf_report".to_string(),

@@ -420,6 +420,75 @@ mod tests {
         assert!(diverged, "independent nets should differ");
     }
 
+    /// `fed_avg` computes the exact equal-weight parameter mean: every
+    /// learner ends with (numerically) the element-wise average of all
+    /// actors/critics, and all learners end bitwise-identical.
+    #[test]
+    fn fed_avg_averages_parameters_exactly() {
+        let cfg = FederatedConfig {
+            hidden: [4, 4],
+            ..FederatedConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut learners: Vec<NodeLearner> =
+            (0..3).map(|_| NodeLearner::new(3, 2, &cfg, &mut rng)).collect();
+        let n = learners.len() as f32;
+        let mut expected_actor = vec![0.0f32; learners[0].actor.flat_params().len()];
+        let mut expected_critic = vec![0.0f32; learners[0].critic.flat_params().len()];
+        for l in &learners {
+            for (e, p) in expected_actor.iter_mut().zip(l.actor.flat_params()) {
+                *e += p / n;
+            }
+            for (e, p) in expected_critic.iter_mut().zip(l.critic.flat_params()) {
+                *e += p / n;
+            }
+        }
+        fed_avg(&mut learners);
+        for (e, p) in expected_actor.iter().zip(learners[0].actor.flat_params()) {
+            assert!((e - p).abs() < 1e-5, "actor mean off: {e} vs {p}");
+        }
+        for (e, p) in expected_critic.iter().zip(learners[0].critic.flat_params()) {
+            assert!((e - p).abs() < 1e-5, "critic mean off: {e} vs {p}");
+        }
+        for l in &learners[1..] {
+            assert_eq!(l.actor.flat_params(), learners[0].actor.flat_params());
+            assert_eq!(l.critic.flat_params(), learners[0].critic.flat_params());
+        }
+    }
+
+    /// A sync landing exactly on the final decision leaves every node with
+    /// bitwise-identical parameters (stronger than agreeing actions).
+    #[test]
+    fn end_sync_makes_parameters_bitwise_identical() {
+        let scenario = ScenarioConfig::paper_base(1).with_horizon(400.0);
+        let mut cfg = toy_config();
+        cfg.total_decisions = 600;
+        cfg.sync_interval = Some(600);
+        let policies = train_per_node(&scenario, &cfg, 5);
+        let first = policies.policies()[0].actor().flat_params();
+        for p in &policies.policies()[1..] {
+            assert_eq!(p.actor().flat_params(), first);
+        }
+    }
+
+    /// Without a sync interval the nodes never exchange parameters: their
+    /// networks stay pairwise different.
+    #[test]
+    fn no_sync_interval_leaves_parameters_independent() {
+        let scenario = ScenarioConfig::paper_base(1).with_horizon(400.0);
+        let mut cfg = toy_config();
+        cfg.total_decisions = 600;
+        cfg.sync_interval = None;
+        let policies = train_per_node(&scenario, &cfg, 5);
+        let first = policies.policies()[0].actor().flat_params();
+        assert!(
+            policies.policies()[1..]
+                .iter()
+                .all(|p| p.actor().flat_params() != first),
+            "independently trained/initialized nodes must not share parameters"
+        );
+    }
+
     #[test]
     #[should_panic(expected = "at least one node policy")]
     fn rejects_empty_policy_list() {

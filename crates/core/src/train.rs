@@ -15,6 +15,7 @@ use dosco_rl::acktr::{Acktr, AcktrConfig};
 use dosco_rl::env::Env;
 use dosco_rl::ppo::{Ppo, PpoConfig};
 use dosco_rl::trainer::train_multi_seed;
+use dosco_runtime::RuntimeConfig;
 use dosco_simnet::ScenarioConfig;
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,10 @@ pub struct TrainConfig {
     /// re-drawing capacities per episode. Narrower distribution: easier
     /// to learn at small budgets, weaker transfer across seeded draws.
     pub fixed_capacity_training: bool,
+    /// Run each seed's training chunks through the actor–learner runtime
+    /// (`dosco_runtime`) instead of the algorithm's serial loop. `None`
+    /// keeps the serial path; `Some(sync)` is bit-identical to it.
+    pub runtime: Option<RuntimeConfig>,
 }
 
 impl Default for TrainConfig {
@@ -97,6 +102,7 @@ impl Default for TrainConfig {
             eval_seed: 0xE7A1,
             checkpoints: 8,
             fixed_capacity_training: false,
+            runtime: None,
         }
     }
 }
@@ -195,20 +201,45 @@ pub fn train_distributed(scenario: &ScenarioConfig, config: &TrainConfig) -> Tra
         for ck in 0..checkpoints {
             let frac = ck as f32 / checkpoints as f32;
             let lr = base_lr * (1.0 - 0.9 * frac);
+            // One chunk of training per arm: through the actor–learner
+            // runtime when configured, the algorithm's serial loop
+            // otherwise (`Some(sync)` and `None` are bit-identical).
+            let rt = config.runtime.as_ref();
             let actor = match &mut agent {
                 Agent::Acktr(a) => {
                     a.set_lr(lr);
-                    a.train(&mut envs, chunk);
+                    match rt {
+                        Some(rt) => {
+                            dosco_runtime::train(&mut **a, &mut envs, chunk, rt);
+                        }
+                        None => {
+                            a.train(&mut envs, chunk);
+                        }
+                    }
                     a.actor().clone()
                 }
                 Agent::A2c(a) => {
                     a.set_lr(lr);
-                    a.train(&mut envs, chunk);
+                    match rt {
+                        Some(rt) => {
+                            dosco_runtime::train(&mut **a, &mut envs, chunk, rt);
+                        }
+                        None => {
+                            a.train(&mut envs, chunk);
+                        }
+                    }
                     a.actor().clone()
                 }
                 Agent::Ppo(a) => {
                     a.set_lr(lr);
-                    a.train(&mut envs, chunk);
+                    match rt {
+                        Some(rt) => {
+                            dosco_runtime::train(&mut **a, &mut envs, chunk, rt);
+                        }
+                        None => {
+                            a.train(&mut envs, chunk);
+                        }
+                    }
                     a.actor().clone()
                 }
             };
@@ -312,6 +343,39 @@ mod tests {
         };
         let trained = train_distributed(&scenario, &config);
         assert_eq!(trained.policy.metadata.algorithm, "acktr");
+    }
+
+    /// Routing the training chunks through the actor–learner runtime in
+    /// sync mode yields the exact same policy and scores as the serial
+    /// path — the subsystem drops into `train_distributed` losslessly.
+    #[test]
+    fn runtime_sync_path_matches_serial_training() {
+        let scenario = ScenarioConfig::paper_base(1).with_horizon(250.0);
+        let base = TrainConfig {
+            algorithm: Algorithm::A2c,
+            total_steps: 800,
+            n_envs: 2,
+            seeds: vec![4],
+            a2c: A2cConfig {
+                hidden: [8, 8],
+                ..A2cConfig::default()
+            },
+            eval_horizon: 150.0,
+            checkpoints: 2,
+            ..TrainConfig::default()
+        };
+        let serial = train_distributed(&scenario, &base);
+        let runtime = TrainConfig {
+            runtime: Some(RuntimeConfig::sync()),
+            ..base
+        };
+        let synced = train_distributed(&scenario, &runtime);
+        assert_eq!(synced.seed_scores, serial.seed_scores);
+        assert_eq!(
+            synced.policy.actor().flat_params(),
+            serial.policy.actor().flat_params(),
+            "runtime-sync policy diverged from the serial path"
+        );
     }
 
     #[test]

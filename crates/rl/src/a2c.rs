@@ -204,14 +204,40 @@ impl A2c {
                 self.config.gae_lambda,
                 &mut self.rng,
             );
-            if self.config.normalize_advantages {
-                rollout.normalize_advantages();
-            }
-            self.update(&rollout);
+            self.apply_batch(&mut rollout);
             stats.mean_rewards.push(rollout.mean_reward());
             stats.total_steps += per_update;
         }
         stats
+    }
+
+    /// One update from an externally collected rollout — the learner-side
+    /// entry point of the actor–learner runtime, and the exact update the
+    /// serial [`A2c::train`] loop applies per batch. The RNG parameter is
+    /// unused (the A2C update draws no randomness) but part of the shared
+    /// learner signature.
+    pub fn update_batch(&mut self, rollout: &mut Rollout, _rng: &mut StdRng) {
+        self.apply_batch(rollout);
+    }
+
+    fn apply_batch(&mut self, rollout: &mut Rollout) {
+        if self.config.normalize_advantages {
+            rollout.normalize_advantages();
+        }
+        self.update(rollout);
+    }
+
+    /// Moves the sampling RNG out of the agent so an external collection
+    /// loop (the runtime's actor thread) can continue the same stream;
+    /// pair with [`A2c::restore_rng`]. The agent is left with a
+    /// placeholder stream and must not sample until restored.
+    pub fn take_rng(&mut self) -> StdRng {
+        std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0))
+    }
+
+    /// Restores the sampling RNG after [`A2c::take_rng`].
+    pub fn restore_rng(&mut self, rng: StdRng) {
+        self.rng = rng;
     }
 
     fn update(&mut self, rollout: &Rollout) {

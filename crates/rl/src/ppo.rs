@@ -7,7 +7,7 @@
 
 use crate::a2c::TrainStats;
 use crate::env::Env;
-use crate::rollout::RolloutCollector;
+use crate::rollout::{Rollout, RolloutCollector};
 use dosco_nn::matrix::Matrix;
 use dosco_nn::mlp::Mlp;
 use dosco_nn::optim::{Adam, Optimizer};
@@ -139,6 +139,16 @@ impl Ppo {
         &self.actor
     }
 
+    /// The critic network.
+    pub fn critic(&self) -> &Mlp {
+        &self.critic
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PpoConfig {
+        &self.config
+    }
+
     /// Overwrites the current learning rate (external schedules).
     pub fn set_lr(&mut self, lr: f32) {
         self.actor_opt.set_learning_rate(lr);
@@ -173,44 +183,68 @@ impl Ppo {
                 self.config.gae_lambda,
                 &mut self.rng,
             );
-            rollout.normalize_advantages();
-            // Old log-probs under the collection policy.
-            let old_lp = Categorical::new(&self.actor.forward(&rollout.obs))
-                .log_prob(&rollout.actions);
-            let batch = rollout.actions.len() as f32;
-            for _ in 0..self.config.epochs {
-                let actor_cache = self.actor.forward_cached(&rollout.obs);
-                let dist = Categorical::new(&actor_cache.output);
-                let dlogits = ppo_logit_gradients(
-                    &dist,
-                    &rollout.actions,
-                    &rollout.advantages,
-                    &old_lp,
-                    self.config.clip,
-                    self.config.ent_coef,
-                );
-                let mut actor_grads = self.actor.backward(&actor_cache, &dlogits);
-                actor_grads.clip_global_norm(self.config.max_grad_norm);
-                self.actor_opt.step(&mut self.actor, &actor_grads);
-
-                let critic_cache = self.critic.forward_cached(&rollout.obs);
-                let mut dv = Matrix::zeros(rollout.actions.len(), 1);
-                for i in 0..rollout.actions.len() {
-                    dv.set(
-                        i,
-                        0,
-                        self.config.vf_coef * (critic_cache.output.get(i, 0) - rollout.returns[i])
-                            / batch,
-                    );
-                }
-                let mut critic_grads = self.critic.backward(&critic_cache, &dv);
-                critic_grads.clip_global_norm(self.config.max_grad_norm);
-                self.critic_opt.step(&mut self.critic, &critic_grads);
-            }
+            self.apply_batch(&mut rollout);
             stats.mean_rewards.push(rollout.mean_reward());
             stats.total_steps += per_update;
         }
         stats
+    }
+
+    /// One clipped-surrogate update (all epochs) from an externally
+    /// collected rollout — the learner-side entry point of the actor–
+    /// learner runtime, identical to the per-batch update of the serial
+    /// [`Ppo::train`] loop. The RNG parameter is unused (the PPO update
+    /// draws no randomness) but part of the shared learner signature.
+    pub fn update_batch(&mut self, rollout: &mut Rollout, _rng: &mut StdRng) {
+        self.apply_batch(rollout);
+    }
+
+    fn apply_batch(&mut self, rollout: &mut Rollout) {
+        rollout.normalize_advantages();
+        // Old log-probs under the collection policy.
+        let old_lp = Categorical::new(&self.actor.forward(&rollout.obs)).log_prob(&rollout.actions);
+        let batch = rollout.actions.len() as f32;
+        for _ in 0..self.config.epochs {
+            let actor_cache = self.actor.forward_cached(&rollout.obs);
+            let dist = Categorical::new(&actor_cache.output);
+            let dlogits = ppo_logit_gradients(
+                &dist,
+                &rollout.actions,
+                &rollout.advantages,
+                &old_lp,
+                self.config.clip,
+                self.config.ent_coef,
+            );
+            let mut actor_grads = self.actor.backward(&actor_cache, &dlogits);
+            actor_grads.clip_global_norm(self.config.max_grad_norm);
+            self.actor_opt.step(&mut self.actor, &actor_grads);
+
+            let critic_cache = self.critic.forward_cached(&rollout.obs);
+            let mut dv = Matrix::zeros(rollout.actions.len(), 1);
+            for i in 0..rollout.actions.len() {
+                dv.set(
+                    i,
+                    0,
+                    self.config.vf_coef * (critic_cache.output.get(i, 0) - rollout.returns[i])
+                        / batch,
+                );
+            }
+            let mut critic_grads = self.critic.backward(&critic_cache, &dv);
+            critic_grads.clip_global_norm(self.config.max_grad_norm);
+            self.critic_opt.step(&mut self.critic, &critic_grads);
+        }
+    }
+
+    /// Moves the sampling RNG out of the agent so an external collection
+    /// loop (the runtime's actor thread) can continue the same stream;
+    /// pair with [`Ppo::restore_rng`].
+    pub fn take_rng(&mut self) -> StdRng {
+        std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0))
+    }
+
+    /// Restores the sampling RNG after [`Ppo::take_rng`].
+    pub fn restore_rng(&mut self, rng: StdRng) {
+        self.rng = rng;
     }
 }
 

@@ -98,6 +98,19 @@ mod tests {
         let _ = train_multi_seed(&[], |s| (s, 0.0));
     }
 
+    /// A panicking seed closure propagates out of `train_multi_seed`
+    /// instead of being swallowed by the worker thread.
+    #[test]
+    #[should_panic(expected = "training thread panicked")]
+    fn propagates_seed_closure_panics() {
+        let _ = train_multi_seed(&[1, 2, 3], |seed| {
+            if seed == 2 {
+                panic!("seed 2 exploded");
+            }
+            (seed, 0.0)
+        });
+    }
+
     #[test]
     fn actually_trains_rl_agents_in_parallel() {
         use crate::a2c::{A2c, A2cConfig};

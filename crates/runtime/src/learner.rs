@@ -1,0 +1,170 @@
+//! The [`Learner`] trait the runtime drives, implemented for the three
+//! `dosco_rl` algorithms (A2C, ACKTR, PPO).
+
+use dosco_nn::mlp::Mlp;
+use dosco_rl::a2c::A2c;
+use dosco_rl::acktr::Acktr;
+use dosco_rl::ppo::Ppo;
+use dosco_rl::rollout::Rollout;
+use rand::rngs::StdRng;
+
+/// Collection hyperparameters the actors need from the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectParams {
+    /// Steps collected per env per batch.
+    pub n_steps: usize,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE λ.
+    pub gae_lambda: f32,
+}
+
+/// An algorithm the actor–learner runtime can train: exposes its networks
+/// for snapshotting, its collection hyperparameters for the actors, its
+/// sampling RNG for circulation, and a single-batch update entry point.
+pub trait Learner: Send {
+    /// Collection hyperparameters for the rollout actors.
+    fn collect_params(&self) -> CollectParams;
+
+    /// The current actor network.
+    fn actor(&self) -> &Mlp;
+
+    /// The current critic network.
+    fn critic(&self) -> &Mlp;
+
+    /// Moves the agent's sampling RNG out (see `take_rng` on the
+    /// algorithms): in sync mode the runtime circulates this exact stream
+    /// between the collecting actor and the updating learner.
+    fn take_rng(&mut self) -> StdRng;
+
+    /// Restores the RNG at shutdown so later (serial) training continues
+    /// the stream.
+    fn restore_rng(&mut self, rng: StdRng);
+
+    /// `Some(base_lr)` if the algorithm's serial loop linearly decays the
+    /// learning rate to 10 % over the training horizon, `None` otherwise.
+    /// The runtime replays the same schedule against consumed steps.
+    fn lr_schedule(&self) -> Option<f32>;
+
+    /// Overwrites the current learning rate.
+    fn set_lr(&mut self, lr: f32);
+
+    /// Applies one update from a collected (possibly aggregated) rollout.
+    /// `rng` is the stream for any update-time sampling (ACKTR's Fisher
+    /// factors); A2C and PPO ignore it.
+    fn update_batch(&mut self, rollout: &mut Rollout, rng: &mut StdRng);
+}
+
+impl Learner for A2c {
+    fn collect_params(&self) -> CollectParams {
+        CollectParams {
+            n_steps: self.config().n_steps,
+            gamma: self.config().gamma,
+            gae_lambda: self.config().gae_lambda,
+        }
+    }
+
+    fn actor(&self) -> &Mlp {
+        self.actor()
+    }
+
+    fn critic(&self) -> &Mlp {
+        self.critic()
+    }
+
+    fn take_rng(&mut self) -> StdRng {
+        A2c::take_rng(self)
+    }
+
+    fn restore_rng(&mut self, rng: StdRng) {
+        A2c::restore_rng(self, rng);
+    }
+
+    fn lr_schedule(&self) -> Option<f32> {
+        self.config().lr_decay.then_some(self.config().lr)
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        A2c::set_lr(self, lr);
+    }
+
+    fn update_batch(&mut self, rollout: &mut Rollout, rng: &mut StdRng) {
+        A2c::update_batch(self, rollout, rng);
+    }
+}
+
+impl Learner for Acktr {
+    fn collect_params(&self) -> CollectParams {
+        CollectParams {
+            n_steps: self.config().n_steps,
+            gamma: self.config().gamma,
+            gae_lambda: self.config().gae_lambda,
+        }
+    }
+
+    fn actor(&self) -> &Mlp {
+        self.actor()
+    }
+
+    fn critic(&self) -> &Mlp {
+        self.critic()
+    }
+
+    fn take_rng(&mut self) -> StdRng {
+        Acktr::take_rng(self)
+    }
+
+    fn restore_rng(&mut self, rng: StdRng) {
+        Acktr::restore_rng(self, rng);
+    }
+
+    fn lr_schedule(&self) -> Option<f32> {
+        self.config().lr_decay.then_some(self.config().lr)
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        Acktr::set_lr(self, lr);
+    }
+
+    fn update_batch(&mut self, rollout: &mut Rollout, rng: &mut StdRng) {
+        Acktr::update_batch(self, rollout, rng);
+    }
+}
+
+impl Learner for Ppo {
+    fn collect_params(&self) -> CollectParams {
+        CollectParams {
+            n_steps: self.config().n_steps,
+            gamma: self.config().gamma,
+            gae_lambda: self.config().gae_lambda,
+        }
+    }
+
+    fn actor(&self) -> &Mlp {
+        self.actor()
+    }
+
+    fn critic(&self) -> &Mlp {
+        self.critic()
+    }
+
+    fn take_rng(&mut self) -> StdRng {
+        Ppo::take_rng(self)
+    }
+
+    fn restore_rng(&mut self, rng: StdRng) {
+        Ppo::restore_rng(self, rng);
+    }
+
+    fn lr_schedule(&self) -> Option<f32> {
+        None // PPO's serial loop applies no internal decay
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        Ppo::set_lr(self, lr);
+    }
+
+    fn update_batch(&mut self, rollout: &mut Rollout, rng: &mut StdRng) {
+        Ppo::update_batch(self, rollout, rng);
+    }
+}

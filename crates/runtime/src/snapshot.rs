@@ -1,0 +1,111 @@
+//! Versioned policy snapshots and the shared broadcast slot.
+
+use dosco_nn::mlp::Mlp;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One immutable, versioned copy of the learner's networks. Published by
+/// the learner after every update; actors pick the latest up at batch
+/// boundaries and collect whole rollouts under one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySnapshot {
+    /// Monotonically increasing version: the number of learner updates
+    /// applied before this snapshot was taken (0 = initial parameters).
+    pub version: u64,
+    /// The actor network at this version.
+    pub actor: Mlp,
+    /// The critic network at this version.
+    pub critic: Mlp,
+}
+
+/// The single-slot broadcast channel for snapshots: `publish` replaces the
+/// slot's `Arc`, `latest` clones it. Reads never block publishes beyond
+/// the swap itself, and old snapshots stay alive only while an actor still
+/// collects under them.
+#[derive(Debug)]
+pub(crate) struct PolicySlot {
+    latest: Mutex<Arc<PolicySnapshot>>,
+    version: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl PolicySlot {
+    pub(crate) fn new(initial: PolicySnapshot) -> Self {
+        PolicySlot {
+            version: AtomicU64::new(initial.version),
+            latest: Mutex::new(Arc::new(initial)),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Replaces the slot content with a newer snapshot.
+    pub(crate) fn publish(&self, snapshot: Arc<PolicySnapshot>) {
+        let version = snapshot.version;
+        *self.latest.lock().expect("policy slot poisoned") = snapshot;
+        self.version.store(version, Ordering::Release);
+    }
+
+    /// The most recently published snapshot.
+    pub(crate) fn latest(&self) -> Arc<PolicySnapshot> {
+        Arc::clone(&self.latest.lock().expect("policy slot poisoned"))
+    }
+
+    /// The version of the most recently published snapshot (cheap read).
+    #[cfg(test)]
+    pub(crate) fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Marks the runtime as shutting down; actors exit at their next batch
+    /// boundary.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosco_nn::mlp::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn snap(version: u64, seed: u64) -> PolicySnapshot {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PolicySnapshot {
+            version,
+            actor: Mlp::new(&[2, 3, 2], Activation::Tanh, &mut rng),
+            critic: Mlp::new(&[2, 3, 1], Activation::Tanh, &mut rng),
+        }
+    }
+
+    #[test]
+    fn publish_replaces_latest_and_version() {
+        let slot = PolicySlot::new(snap(0, 1));
+        assert_eq!(slot.version(), 0);
+        let first = slot.latest();
+        slot.publish(Arc::new(snap(1, 2)));
+        assert_eq!(slot.version(), 1);
+        let second = slot.latest();
+        assert_eq!(second.version, 1);
+        // The older snapshot stays valid for in-flight collections.
+        assert_eq!(first.version, 0);
+        assert_ne!(first.actor, second.actor);
+    }
+
+    #[test]
+    fn close_is_sticky() {
+        let slot = PolicySlot::new(snap(0, 3));
+        assert!(!slot.is_closed());
+        slot.close();
+        assert!(slot.is_closed());
+        // Publishing after close still works (drain paths read it).
+        slot.publish(Arc::new(snap(1, 4)));
+        assert!(slot.is_closed());
+        assert_eq!(slot.latest().version, 1);
+    }
+}

@@ -9,7 +9,7 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Why a flow was dropped (Sec. III / IV-B2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DropReason {
     /// Processing the flow would exceed the node's compute capacity.
     NodeCapacity,

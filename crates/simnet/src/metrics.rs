@@ -2,7 +2,7 @@
 
 use crate::event::DropReason;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Counters collected over one simulation episode.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -11,8 +11,10 @@ pub struct Metrics {
     pub arrived: u64,
     /// Flows completed successfully (`F_succ`).
     pub completed: u64,
-    /// Flows dropped (`F_drop`), by reason.
-    pub dropped: HashMap<DropReason, u64>,
+    /// Flows dropped (`F_drop`), by reason. A `BTreeMap` so iteration —
+    /// and therefore serialization — is deterministic regardless of
+    /// insertion order (stable report diffs across runs).
+    pub dropped: BTreeMap<DropReason, u64>,
     /// Sum of end-to-end delays of completed flows (for the Fig. 7 average).
     pub e2e_delay_sum: f64,
     /// Coordination decisions taken by agents.
@@ -106,6 +108,29 @@ mod tests {
         m.completed = 2;
         m.e2e_delay_sum = 42.0;
         assert_eq!(m.avg_e2e_delay(), Some(21.0));
+    }
+
+    /// Drop counters serialize identically no matter the order drops were
+    /// recorded in: the ordered map fixes the key order, so two runs that
+    /// saw the same drops emit byte-identical JSON.
+    #[test]
+    fn drop_counters_serialize_in_stable_order() {
+        let mut forward = Metrics::new();
+        for reason in DropReason::ALL {
+            forward.record_drop(reason);
+        }
+        let mut reverse = Metrics::new();
+        for reason in DropReason::ALL.iter().rev() {
+            reverse.record_drop(*reason);
+        }
+        let a = serde_json::to_string(&forward).unwrap();
+        let b = serde_json::to_string(&reverse).unwrap();
+        assert_eq!(a, b, "insertion order leaked into the serialization");
+        // Keys iterate in declaration (Ord) order.
+        let keys: Vec<DropReason> = forward.dropped.keys().copied().collect();
+        assert_eq!(keys, DropReason::ALL.to_vec());
+        let back: Metrics = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, forward);
     }
 
     #[test]

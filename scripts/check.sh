@@ -10,10 +10,19 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== cargo test (actor-learner runtime) =="
+cargo test -q -p dosco-runtime
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (runtime crate, deny missing docs) =="
+cargo doc --no-deps -p dosco-runtime
+
 echo "== cargo bench (compile only) =="
 cargo bench --no-run --workspace
+
+echo "== cargo bench (runtime throughput) =="
+cargo bench -p dosco-bench --bench runtime_throughput
 
 echo "All checks passed."

@@ -10,6 +10,7 @@ pub use dosco_baselines as baselines;
 pub use dosco_core as core;
 pub use dosco_nn as nn;
 pub use dosco_rl as rl;
+pub use dosco_runtime as runtime;
 pub use dosco_simnet as simnet;
 pub use dosco_topology as topology;
 pub use dosco_traffic as traffic;

@@ -1,8 +1,12 @@
-//! Offline in-repo stand-in for the `crossbeam` scoped-thread API this
-//! workspace uses, implemented over `std::thread::scope` (stable since
-//! Rust 1.63). Only `crossbeam::thread::{scope, Scope, ScopedJoinHandle}`
-//! is provided — the subset `dosco_rl::train_multi_seed` and the parallel
-//! compute layer rely on.
+//! Offline in-repo stand-in for the `crossbeam` APIs this workspace uses,
+//! implemented over the standard library. Provided subsets:
+//!
+//! - `crossbeam::thread::{scope, Scope, ScopedJoinHandle}` over
+//!   `std::thread::scope` (stable since Rust 1.63) — used by
+//!   `dosco_rl::train_multi_seed` and the parallel compute layer.
+//! - `crossbeam::channel::{bounded, Sender, Receiver}` — a bounded MPSC
+//!   channel with blocking send/recv and disconnect semantics, used by the
+//!   `dosco_runtime` actor–learner transport.
 #![allow(clippy::all)] // vendored stand-in: keep diff-from-upstream minimal
 
 
@@ -62,6 +66,385 @@ pub mod thread {
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
         Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! Bounded MPSC channel (blocking `Mutex` + `Condvar` implementation of
+    //! the `crossbeam-channel` subset this workspace uses).
+    //!
+    //! Semantics mirrored from upstream:
+    //! - `send` blocks while the queue holds `cap` messages, and fails only
+    //!   when the receiver is gone;
+    //! - `recv` blocks while the queue is empty, and fails only when it is
+    //!   empty *and* every sender is gone (pending messages are always
+    //!   drained first);
+    //! - `Sender` is `Clone` (multi-producer), `Receiver` is not
+    //!   (single-consumer subset).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error of [`Sender::send`]: the receiver disconnected. Gives the
+    /// un-sent message back.
+    pub struct SendError<T>(pub T);
+
+    /// Error of [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The channel is at capacity. Gives the message back.
+        Full(T),
+        /// The receiver disconnected. Gives the message back.
+        Disconnected(T),
+    }
+
+    /// Error of [`Receiver::recv`]: the channel is empty and all senders
+    /// disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders disconnected.
+        Disconnected,
+    }
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// Live `Sender` clones; 0 ⇒ `recv` fails once the queue drains.
+        senders: usize,
+        /// False once the `Receiver` is dropped; sends fail immediately.
+        receiver_alive: bool,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: usize,
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a bounded channel with room for `cap` in-flight messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` (upstream's zero-capacity rendezvous channels
+    /// are not part of this stand-in).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be at least 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (backpressure) or the
+        /// receiver disconnects.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message if the receiver disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            loop {
+                if !st.receiver_alive {
+                    return Err(SendError(msg));
+                }
+                if st.queue.len() < self.shared.cap {
+                    st.queue.push_back(msg);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .shared
+                    .not_full
+                    .wait(st)
+                    .expect("channel lock poisoned");
+            }
+        }
+
+        /// Enqueues without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] if at capacity, [`TrySendError::Disconnected`]
+        /// if the receiver is gone; both give the message back.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            if !st.receiver_alive {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if st.queue.len() >= self.shared.cap {
+                return Err(TrySendError::Full(msg));
+            }
+            st.queue.push_back(msg);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel lock poisoned")
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake a blocked `recv` so it can observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender disconnects.
+        ///
+        /// # Errors
+        ///
+        /// Fails only once the channel is empty *and* sender-less, so all
+        /// in-flight messages are drained before the disconnect surfaces.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .not_empty
+                    .wait(st)
+                    .expect("channel lock poisoned");
+            }
+        }
+
+        /// Dequeues without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] if nothing is queued yet,
+        /// [`TryRecvError::Disconnected`] once empty and sender-less.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            match st.queue.pop_front() {
+                Some(msg) => {
+                    self.shared.not_full.notify_one();
+                    Ok(msg)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel lock poisoned")
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().expect("channel lock poisoned");
+            st.receiver_alive = false;
+            // Wake all blocked senders so they can observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::channel::{bounded, TryRecvError, TrySendError};
+
+    #[test]
+    fn send_recv_in_fifo_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_gives_message_back() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        match tx.try_send(2) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(2).unwrap();
+    }
+
+    #[test]
+    fn recv_drains_pending_messages_before_disconnect() {
+        let (tx, rx) = bounded(2);
+        tx.send(10).unwrap();
+        tx.send(20).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(10));
+        assert_eq!(rx.try_recv(), Ok(20));
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_once_receiver_dropped() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn disconnect_waits_for_all_sender_clones() {
+        let (tx, rx) = bounded::<u32>(2);
+        let tx2 = tx.clone();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx2.send(7).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn blocking_send_applies_backpressure_across_threads() {
+        let (tx, rx) = bounded(1);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                // The second send must block until the main thread drains.
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        });
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_disconnect() {
+        let (tx, rx) = bounded::<u32>(1);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                drop(tx); // wake the blocked recv below
+            });
+            assert!(rx.recv().is_err());
+        });
+    }
+
+    #[test]
+    fn multi_producer_messages_all_arrive() {
+        let (tx, rx) = bounded(2);
+        std::thread::scope(|s| {
+            for p in 0..4u32 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            assert_eq!(got.len(), 200);
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got.len(), 200, "no message lost or duplicated");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn rejects_zero_capacity() {
+        let _ = bounded::<u32>(0);
     }
 }
 
