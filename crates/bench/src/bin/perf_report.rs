@@ -2,8 +2,13 @@
 //! the actor–learner runtime: times the blocked GEMM kernels against the
 //! retained naive references, the pool-parallel stages (forward/backward,
 //! K-FAC, rollout collection, eval fan-out) at 1 vs 4 worker threads, and
-//! serial vs actor–learner training throughput (`dosco_runtime`), then
-//! writes `BENCH_PR3.json` at the repo root (or `--out <path>`).
+//! serial vs actor–learner training throughput (`dosco_runtime`), and the
+//! observability layer's trace-capture overhead (`dosco_obs`), then
+//! writes `BENCH_PR4.json` at the repo root (or `--out <path>`).
+//!
+//! Span timers are armed for the whole run, so the report also embeds an
+//! `obs` snapshot: per-kind span totals (GEMM, K-FAC, rollout collection,
+//! channel waits, snapshot publishes) plus trace counters and histograms.
 //!
 //! All timings are best-of-N wall clock. Thread-scaling numbers are only
 //! meaningful when the host has multiple cores; the report records the
@@ -175,6 +180,30 @@ fn eval_threads(note: &str) -> BenchRecord {
     BenchRecord::new("eval/8-seed-fan-out", "1 thread", "4 threads", t1, t4, note)
 }
 
+/// Multi-seed GCASP evaluation with tracing off vs a live
+/// [`dosco_obs::JsonlRecorder`] capturing every episode event — the cost
+/// of full trace capture on the simulation hot path.
+fn obs_trace_overhead(note: &str) -> BenchRecord {
+    let scenario = base_scenario(2, dosco_traffic::ArrivalPattern::paper_poisson(), 500.0);
+    let seeds: Vec<u64> = (0..4).collect();
+    let untraced = time_ms(3, || Algo::Gcasp.evaluate(&scenario, &seeds));
+    let path = std::env::temp_dir().join("dosco_perf_report_trace.jsonl");
+    dosco_obs::install_recorder(std::sync::Arc::new(dosco_obs::JsonlRecorder::new(
+        path.clone(),
+    )));
+    let traced = time_ms(3, || Algo::Gcasp.evaluate(&scenario, &seeds));
+    dosco_obs::uninstall_recorder();
+    let _ = std::fs::remove_file(&path);
+    BenchRecord::new(
+        "obs/trace-4-eval-episodes",
+        "tracing disabled (default)",
+        "JsonlRecorder capturing (DOSCO_TRACE)",
+        untraced,
+        traced,
+        note,
+    )
+}
+
 /// Serial `A2c::train` vs the actor–learner runtime over the same A2C
 /// workload on the base scenario (4 envs × 8-step batches). Sync mode
 /// measures pure transport overhead (its result is bit-identical to
@@ -230,7 +259,9 @@ fn runtime_throughput(mode: &str, note: &str) -> BenchRecord {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    // Arm span timers so the embedded obs snapshot covers the whole run.
+    dosco_obs::set_spans_enabled(true);
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let thread_note = if host >= 4 {
         "threads 1 vs 4 on the shared worker pool".to_string()
@@ -274,12 +305,18 @@ fn main() {
     records.push(runtime_throughput("sync", &runtime_note));
     eprintln!("[perf_report] runtime throughput (async)...");
     records.push(runtime_throughput("async", &runtime_note));
+    eprintln!("[perf_report] obs trace capture overhead...");
+    records.push(obs_trace_overhead(
+        "cost of a live JSONL trace on the simulation hot path; the \
+         disabled path is a single atomic load per decision",
+    ));
 
     let report = BenchReport {
         generated_by: "dosco-bench perf_report".to_string(),
         host_threads: host,
         pool_threads: 4,
         records,
+        obs: Some(dosco_obs::report()),
     };
     for r in &report.records {
         println!(

@@ -108,6 +108,9 @@ pub struct BenchReport {
     pub pool_threads: usize,
     /// The comparisons.
     pub records: Vec<BenchRecord>,
+    /// Observability snapshot (span timings, counters, histograms)
+    /// captured while the benchmarks ran; `None` when spans were off.
+    pub obs: Option<dosco_obs::ObsReport>,
 }
 
 impl BenchRecord {
@@ -192,11 +195,13 @@ mod tests {
             host_threads: 1,
             pool_threads: 4,
             records: vec![rec],
+            obs: None,
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"gemm/t\""));
         assert!(json.contains("\"pool_threads\""));
+        assert!(json.contains("\"obs\""));
     }
 
     #[test]

@@ -41,31 +41,125 @@ impl Default for ExpBudget {
     }
 }
 
+/// A rejected experiment-budget environment override: names the variable
+/// and the offending value instead of a bare parse panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetEnvError {
+    /// The environment variable that failed validation.
+    pub var: &'static str,
+    /// The value that could not be parsed or validated.
+    pub value: String,
+    /// What the variable expects.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for BudgetEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for BudgetEnvError {}
+
+/// Parses one override through `get`. Unset and empty/whitespace-only
+/// values both mean "keep the default"; anything else must parse as `T`
+/// and satisfy `valid`, or the error names the variable and raw value.
+fn parse_override<T: std::str::FromStr>(
+    get: &dyn Fn(&str) -> Option<String>,
+    var: &'static str,
+    expected: &'static str,
+    valid: impl Fn(&T) -> bool,
+) -> Result<Option<T>, BudgetEnvError> {
+    let Some(raw) = get(var) else {
+        return Ok(None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<T>() {
+        Ok(v) if valid(&v) => Ok(Some(v)),
+        _ => Err(BudgetEnvError {
+            var,
+            value: raw,
+            expected,
+        }),
+    }
+}
+
 impl ExpBudget {
     /// Reads overrides from environment variables
     /// (`DOSCO_TRAIN_STEPS`, `DOSCO_SEEDS`, `DOSCO_EVAL_SEEDS`,
     /// `DOSCO_HORIZON`, `DOSCO_CENTRAL_STEPS`) so full-scale runs don't
     /// need code edits.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`BudgetEnvError`] message (named variable plus
+    /// offending value) if an override is set but invalid. Use
+    /// [`ExpBudget::try_from_env`] to handle the error instead.
     pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`ExpBudget::from_env`], returning the validation error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetEnvError`] for the first override that is set but
+    /// does not parse/validate. Empty-string variables behave like unset.
+    pub fn try_from_env() -> Result<Self, BudgetEnvError> {
+        Self::from_lookup(&|var| std::env::var(var).ok())
+    }
+
+    /// [`ExpBudget::try_from_env`] over an arbitrary variable lookup
+    /// (injectable for tests — no process-global environment mutation).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExpBudget::try_from_env`].
+    pub fn from_lookup(get: &dyn Fn(&str) -> Option<String>) -> Result<Self, BudgetEnvError> {
         let mut b = ExpBudget::default();
-        if let Ok(v) = std::env::var("DOSCO_TRAIN_STEPS") {
-            b.train_steps = v.parse().expect("DOSCO_TRAIN_STEPS must be an integer");
+        if let Some(v) = parse_override::<usize>(
+            get,
+            "DOSCO_TRAIN_STEPS",
+            "a positive integer",
+            |&v| v >= 1,
+        )? {
+            b.train_steps = v;
         }
-        if let Ok(v) = std::env::var("DOSCO_SEEDS") {
-            let k: u64 = v.parse().expect("DOSCO_SEEDS must be an integer");
+        if let Some(k) =
+            parse_override::<u64>(get, "DOSCO_SEEDS", "a positive integer", |&v| v >= 1)?
+        {
             b.train_seeds = (0..k).collect();
         }
-        if let Ok(v) = std::env::var("DOSCO_EVAL_SEEDS") {
-            let k: u64 = v.parse().expect("DOSCO_EVAL_SEEDS must be an integer");
+        if let Some(k) =
+            parse_override::<u64>(get, "DOSCO_EVAL_SEEDS", "a positive integer", |&v| v >= 1)?
+        {
             b.eval_seeds = (100..100 + k).collect();
         }
-        if let Ok(v) = std::env::var("DOSCO_HORIZON") {
-            b.horizon = v.parse().expect("DOSCO_HORIZON must be a number");
+        if let Some(v) = parse_override::<f64>(
+            get,
+            "DOSCO_HORIZON",
+            "a finite positive number",
+            |&v| v.is_finite() && v > 0.0,
+        )? {
+            b.horizon = v;
         }
-        if let Ok(v) = std::env::var("DOSCO_CENTRAL_STEPS") {
-            b.central_steps = v.parse().expect("DOSCO_CENTRAL_STEPS must be an integer");
+        if let Some(v) = parse_override::<usize>(
+            get,
+            "DOSCO_CENTRAL_STEPS",
+            "a positive integer",
+            |&v| v >= 1,
+        )? {
+            b.central_steps = v;
         }
-        b
+        Ok(b)
     }
 
     /// The distributed-DRL training configuration for this budget.
@@ -169,14 +263,30 @@ pub struct EvalStats {
 }
 
 impl EvalStats {
-    /// Aggregates per-seed metrics.
+    /// Aggregates per-seed metrics. Episodes where no flow terminated
+    /// (undefined objective) are skipped in the success mean/std rather
+    /// than counted as perfect 1.0; if *every* episode is vacuous, both
+    /// are `NaN` ("no data"). The per-seed metrics keep all episodes.
     ///
     /// # Panics
     ///
     /// Panics if `metrics` is empty.
     pub fn from_metrics(metrics: Vec<Metrics>) -> Self {
         assert!(!metrics.is_empty(), "need at least one evaluation run");
-        let ratios: Vec<f64> = metrics.iter().map(Metrics::success_ratio).collect();
+        let ratios: Vec<f64> = metrics
+            .iter()
+            .filter_map(Metrics::success_ratio_opt)
+            .collect();
+        if ratios.is_empty() {
+            let delays: Vec<f64> = metrics.iter().filter_map(Metrics::avg_e2e_delay).collect();
+            debug_assert!(delays.is_empty(), "completed flows imply a defined ratio");
+            return EvalStats {
+                mean_success: f64::NAN,
+                std_success: f64::NAN,
+                mean_e2e_delay: None,
+                metrics,
+            };
+        }
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         let var = ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
             / ratios.len() as f64;
@@ -306,6 +416,29 @@ mod tests {
         assert!(stats.std_success > 0.2);
     }
 
+    /// Vacuous episodes are excluded from the success aggregate instead
+    /// of being counted as perfect 1.0.
+    #[test]
+    fn eval_stats_skip_vacuous_episodes() {
+        let vacuous = Metrics::new(); // nothing terminated
+        let mut real = Metrics::new();
+        real.arrived = 4;
+        real.completed = 2;
+        real.record_drop(dosco_simnet::DropReason::NodeCapacity);
+        real.record_drop(dosco_simnet::DropReason::NodeCapacity);
+        let stats = EvalStats::from_metrics(vec![vacuous.clone(), real]);
+        // Old behavior averaged in a fake 1.0 for the vacuous episode
+        // (mean 0.75); the fix reports the defined episode alone.
+        assert!((stats.mean_success - 0.5).abs() < 1e-12);
+        assert_eq!(stats.std_success, 0.0);
+        assert_eq!(stats.metrics.len(), 2, "raw metrics keep all episodes");
+        // All-vacuous: NaN marks "no data", never a perfect score.
+        let empty = EvalStats::from_metrics(vec![vacuous]);
+        assert!(empty.mean_success.is_nan());
+        assert!(empty.std_success.is_nan());
+        assert_eq!(empty.mean_e2e_delay, None);
+    }
+
     #[test]
     fn budget_env_overrides() {
         // Only checks the default path (env vars unset in tests).
@@ -313,5 +446,59 @@ mod tests {
         assert_eq!(b.n_envs, 4);
         let tc = b.train_config();
         assert_eq!(tc.seeds, b.train_seeds);
+    }
+
+    #[test]
+    fn budget_lookup_applies_valid_overrides() {
+        let get = |var: &str| -> Option<String> {
+            match var {
+                "DOSCO_TRAIN_STEPS" => Some("123".into()),
+                "DOSCO_SEEDS" => Some("2".into()),
+                "DOSCO_EVAL_SEEDS" => Some("3".into()),
+                "DOSCO_HORIZON" => Some("2500.5".into()),
+                "DOSCO_CENTRAL_STEPS" => Some(" 7 ".into()), // whitespace ok
+                _ => None,
+            }
+        };
+        let b = ExpBudget::from_lookup(&get).unwrap();
+        assert_eq!(b.train_steps, 123);
+        assert_eq!(b.train_seeds, vec![0, 1]);
+        assert_eq!(b.eval_seeds, vec![100, 101, 102]);
+        assert_eq!(b.horizon, 2500.5);
+        assert_eq!(b.central_steps, 7);
+        assert_eq!(b.n_envs, 4, "untouched fields keep defaults");
+    }
+
+    /// Empty-string variables behave exactly like unset ones.
+    #[test]
+    fn budget_lookup_treats_empty_as_unset() {
+        let get = |var: &str| -> Option<String> {
+            match var {
+                "DOSCO_TRAIN_STEPS" => Some(String::new()),
+                "DOSCO_HORIZON" => Some("   ".into()),
+                _ => None,
+            }
+        };
+        assert_eq!(ExpBudget::from_lookup(&get).unwrap(), ExpBudget::default());
+    }
+
+    /// Invalid overrides produce one structured error naming the variable
+    /// and the offending value — not a bare `expect` panic.
+    #[test]
+    fn budget_lookup_rejects_bad_values_with_context() {
+        let cases: [(&str, &str); 4] = [
+            ("DOSCO_TRAIN_STEPS", "lots"),
+            ("DOSCO_SEEDS", "0"),        // validated, not just parsed
+            ("DOSCO_HORIZON", "inf"),    // must be finite
+            ("DOSCO_CENTRAL_STEPS", "-3"),
+        ];
+        for (var, value) in cases {
+            let get = move |v: &str| (v == var).then(|| value.to_string());
+            let err = ExpBudget::from_lookup(&get).unwrap_err();
+            assert_eq!(err.var, var);
+            assert_eq!(err.value, value);
+            let msg = err.to_string();
+            assert!(msg.contains(var) && msg.contains(value), "{msg}");
+        }
     }
 }

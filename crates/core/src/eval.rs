@@ -38,6 +38,12 @@ pub fn evaluate_with_capacity_draw(
 /// ratio, plus the per-seed metrics — the aggregation used in every figure
 /// of Sec. V ("mean and standard deviation over 30 random seeds").
 ///
+/// Episodes where no flow terminated (the objective is undefined) are
+/// *skipped* in the mean/std rather than counted as perfect 1.0, so short
+/// or empty episodes cannot inflate the aggregate. If every episode is
+/// vacuous, mean and std are `NaN` — "no data", distinguishable from a
+/// genuinely perfect 1.0. The returned metrics still cover all seeds.
+///
 /// # Panics
 ///
 /// Panics if `seeds` is empty (see [`evaluate`] for the other cases).
@@ -51,7 +57,13 @@ pub fn evaluate_seeds(
         .iter()
         .map(|&s| evaluate(policy, scenario, s))
         .collect();
-    let ratios: Vec<f64> = metrics.iter().map(Metrics::success_ratio).collect();
+    let ratios: Vec<f64> = metrics
+        .iter()
+        .filter_map(Metrics::success_ratio_opt)
+        .collect();
+    if ratios.is_empty() {
+        return (f64::NAN, f64::NAN, metrics);
+    }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     let var = ratios
         .iter()
@@ -102,6 +114,23 @@ mod tests {
         let expect: f64 =
             metrics.iter().map(Metrics::success_ratio).sum::<f64>() / 4.0;
         assert!((mean - expect).abs() < 1e-12);
+    }
+
+    /// Vacuous episodes (no flow terminated) must not count as perfect:
+    /// with a horizon shorter than the first fixed arrival, every episode
+    /// is vacuous and the aggregate is NaN — not an inflated 1.0.
+    #[test]
+    fn vacuous_episodes_do_not_inflate_the_mean() {
+        let p = random_policy(3, 1);
+        let scenario = ScenarioConfig::paper_base(1).with_horizon(5.0);
+        let (mean, std, metrics) = evaluate_seeds(&p, &scenario, &[1, 2]);
+        assert_eq!(metrics.len(), 2);
+        assert!(
+            metrics.iter().all(|m| m.success_ratio_opt().is_none()),
+            "expected all-vacuous episodes at horizon 5.0"
+        );
+        assert!(mean.is_nan(), "all-vacuous mean must be NaN, got {mean}");
+        assert!(std.is_nan());
     }
 
     #[test]

@@ -119,6 +119,7 @@ impl Kfac {
             self.layers.len(),
             "one Fisher gradient batch per layer required"
         );
+        let _span = dosco_obs::span(dosco_obs::SpanKind::KfacStats);
         let decay = self.config.stat_decay;
         // Each layer's factors depend only on that layer's inputs and
         // Fisher gradients, so the layers update in parallel (the values
@@ -155,6 +156,7 @@ impl Kfac {
     }
 
     fn refresh_inverses(&mut self) -> Result<(), LinalgError> {
+        let _span = dosco_obs::span(dosco_obs::SpanKind::KfacInversion);
         let damping = self.config.damping;
         // The two Cholesky inversions per layer are independent across
         // layers; run them in parallel and surface the first (lowest-layer)

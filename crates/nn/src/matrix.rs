@@ -205,6 +205,7 @@ impl Matrix {
             (self.rows, other.cols),
             "matmul output shape mismatch"
         );
+        let _span = dosco_obs::span(dosco_obs::SpanKind::Gemm);
         let (kk, n) = (self.cols, other.cols);
         run_row_blocked(self.rows, kk, n, &mut out.data, |row0, out_block| {
             matmul_block(&self.data, &other.data, out_block, row0, kk, n);
@@ -241,6 +242,7 @@ impl Matrix {
             (self.cols, other.cols),
             "transpose_matmul output shape mismatch"
         );
+        let _span = dosco_obs::span(dosco_obs::SpanKind::Gemm);
         let (m, kk, n) = (self.cols, self.rows, other.cols);
         run_row_blocked(m, kk, n, &mut out.data, |row0, out_block| {
             transpose_matmul_block(&self.data, &other.data, out_block, row0, m, kk, n);
@@ -277,6 +279,7 @@ impl Matrix {
             (self.rows, other.rows),
             "matmul_transpose output shape mismatch"
         );
+        let _span = dosco_obs::span(dosco_obs::SpanKind::Gemm);
         let (kk, n) = (self.cols, other.rows);
         run_row_blocked(self.rows, kk, n, &mut out.data, |row0, out_block| {
             matmul_transpose_block(&self.data, &other.data, out_block, row0, kk, n);

@@ -1,0 +1,409 @@
+//! The global metrics registry: a fixed set of counters, gauges,
+//! fixed-bucket histograms, and span-timing accumulators, all lock-free
+//! atomics. Snapshot with [`crate::report`], zero with [`crate::reset`].
+//!
+//! The registry is deliberately *not* part of the trace: span durations
+//! are wall-clock and would break trace determinism, so they only surface
+//! in the in-memory [`crate::ObsReport`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// Trace events handed to the installed recorder.
+    TraceEvents,
+    /// Simulation episodes that emitted a trace stream.
+    EpisodesTraced,
+    /// Mid-episode samples taken at decision points.
+    DecisionSamples,
+}
+
+impl CounterKind {
+    /// All counters, in report order.
+    pub const ALL: [CounterKind; 3] = [
+        CounterKind::TraceEvents,
+        CounterKind::EpisodesTraced,
+        CounterKind::DecisionSamples,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::TraceEvents => "trace_events",
+            CounterKind::EpisodesTraced => "episodes_traced",
+            CounterKind::DecisionSamples => "decision_samples",
+        }
+    }
+
+    const fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Last-value gauges (f64, stored as bit patterns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeKind {
+    /// Success ratio at the most recent episode sample.
+    LastSuccessRatio,
+    /// In-flight flows at the most recent episode sample.
+    LastInFlight,
+    /// Peak node utilization seen at any sample.
+    PeakNodeUtil,
+    /// Peak link utilization seen at any sample.
+    PeakLinkUtil,
+}
+
+impl GaugeKind {
+    /// All gauges, in report order.
+    pub const ALL: [GaugeKind; 4] = [
+        GaugeKind::LastSuccessRatio,
+        GaugeKind::LastInFlight,
+        GaugeKind::PeakNodeUtil,
+        GaugeKind::PeakLinkUtil,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GaugeKind::LastSuccessRatio => "last_success_ratio",
+            GaugeKind::LastInFlight => "last_in_flight",
+            GaugeKind::PeakNodeUtil => "peak_node_util",
+            GaugeKind::PeakLinkUtil => "peak_link_util",
+        }
+    }
+
+    const fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Fixed-bucket histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistKind {
+    /// Policy staleness observed at batch consumption (versions).
+    Staleness,
+    /// Node utilization at episode samples.
+    NodeUtil,
+    /// Link utilization at episode samples.
+    LinkUtil,
+}
+
+/// Upper bucket bounds for staleness (versions); a final overflow bucket
+/// catches everything larger.
+const STALENESS_BOUNDS: [f64; 7] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+/// Upper bucket bounds for utilizations (fractions of capacity).
+const UTIL_BOUNDS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+/// Largest bucket count of any histogram (bounds + overflow).
+const MAX_BUCKETS: usize = STALENESS_BOUNDS.len() + 1;
+
+impl HistKind {
+    /// All histograms, in report order.
+    pub const ALL: [HistKind; 3] = [HistKind::Staleness, HistKind::NodeUtil, HistKind::LinkUtil];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistKind::Staleness => "staleness",
+            HistKind::NodeUtil => "node_util",
+            HistKind::LinkUtil => "link_util",
+        }
+    }
+
+    /// The inclusive upper bounds of this histogram's buckets; values above
+    /// the last bound land in an overflow bucket.
+    pub fn bounds(self) -> &'static [f64] {
+        match self {
+            HistKind::Staleness => &STALENESS_BOUNDS,
+            HistKind::NodeUtil | HistKind::LinkUtil => &UTIL_BOUNDS,
+        }
+    }
+
+    const fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Instrumented hot-path sections timed by [`crate::span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Blocked GEMM kernels (`matmul*_into` in `dosco_nn`).
+    Gemm,
+    /// K-FAC Kronecker-factor statistics updates.
+    KfacStats,
+    /// K-FAC damped Cholesky factor inversions.
+    KfacInversion,
+    /// Rollout collection (`RolloutCollector::collect`).
+    RolloutCollect,
+    /// Actor blocking on a full experience channel.
+    ChannelSend,
+    /// Learner blocking on an empty experience channel.
+    ChannelRecv,
+    /// Learner applying one update batch.
+    LearnerUpdate,
+    /// Snapshot clone + publish into the policy slot.
+    SnapshotPublish,
+}
+
+impl SpanKind {
+    /// All spans, in report order.
+    pub const ALL: [SpanKind; 8] = [
+        SpanKind::Gemm,
+        SpanKind::KfacStats,
+        SpanKind::KfacInversion,
+        SpanKind::RolloutCollect,
+        SpanKind::ChannelSend,
+        SpanKind::ChannelRecv,
+        SpanKind::LearnerUpdate,
+        SpanKind::SnapshotPublish,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Gemm => "gemm",
+            SpanKind::KfacStats => "kfac_stats",
+            SpanKind::KfacInversion => "kfac_inversion",
+            SpanKind::RolloutCollect => "rollout_collect",
+            SpanKind::ChannelSend => "channel_send",
+            SpanKind::ChannelRecv => "channel_recv",
+            SpanKind::LearnerUpdate => "learner_update",
+            SpanKind::SnapshotPublish => "snapshot_publish",
+        }
+    }
+
+    const fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// One span accumulator cell.
+#[derive(Debug, Default)]
+struct SpanCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// One histogram cell: bucket counts, total count, and the value sum
+/// (f64 bits, updated by CAS — recording is rare enough that contention
+/// is negligible).
+#[derive(Debug)]
+struct HistCell {
+    buckets: [AtomicU64; MAX_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl HistCell {
+    const fn new() -> Self {
+        HistCell {
+            buckets: [const { AtomicU64::new(0) }; MAX_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SpanCell {
+    const fn new() -> Self {
+        SpanCell {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+static SPANS: [SpanCell; SpanKind::ALL.len()] =
+    [const { SpanCell::new() }; SpanKind::ALL.len()];
+static COUNTERS: [AtomicU64; CounterKind::ALL.len()] =
+    [const { AtomicU64::new(0) }; CounterKind::ALL.len()];
+static GAUGES: [AtomicU64; GaugeKind::ALL.len()] =
+    [const { AtomicU64::new(0) }; GaugeKind::ALL.len()];
+static HISTS: [HistCell; HistKind::ALL.len()] =
+    [const { HistCell::new() }; HistKind::ALL.len()];
+
+/// Adds `n` to a counter.
+#[inline]
+pub fn count(kind: CounterKind, n: u64) {
+    COUNTERS[kind.idx()].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Reads a counter.
+pub fn counter_value(kind: CounterKind) -> u64 {
+    COUNTERS[kind.idx()].load(Ordering::Relaxed)
+}
+
+/// Sets a gauge to `value`.
+#[inline]
+pub fn set_gauge(kind: GaugeKind, value: f64) {
+    GAUGES[kind.idx()].store(value.to_bits(), Ordering::Relaxed);
+}
+
+/// Raises a gauge to `value` if larger (peak tracking).
+#[inline]
+pub fn max_gauge(kind: GaugeKind, value: f64) {
+    let cell = &GAUGES[kind.idx()];
+    let mut cur = cell.load(Ordering::Relaxed);
+    while f64::from_bits(cur) < value {
+        match cell.compare_exchange_weak(
+            cur,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Reads a gauge.
+pub fn gauge_value(kind: GaugeKind) -> f64 {
+    f64::from_bits(GAUGES[kind.idx()].load(Ordering::Relaxed))
+}
+
+/// Records one observation into a histogram.
+#[inline]
+pub fn observe(kind: HistKind, value: f64) {
+    let cell = &HISTS[kind.idx()];
+    let bounds = kind.bounds();
+    let bucket = bounds
+        .iter()
+        .position(|&b| value <= b)
+        .unwrap_or(bounds.len());
+    cell.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    cell.count.fetch_add(1, Ordering::Relaxed);
+    let mut cur = cell.sum_bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + value).to_bits();
+        match cell
+            .sum_bits
+            .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Snapshot of one histogram: per-bucket counts aligned with
+/// `kind.bounds()` plus a final overflow bucket, the observation count,
+/// and the value sum.
+pub fn histogram_snapshot(kind: HistKind) -> (Vec<u64>, u64, f64) {
+    let cell = &HISTS[kind.idx()];
+    let n = kind.bounds().len() + 1;
+    let buckets = (0..n)
+        .map(|i| cell.buckets[i].load(Ordering::Relaxed))
+        .collect();
+    (
+        buckets,
+        cell.count.load(Ordering::Relaxed),
+        f64::from_bits(cell.sum_bits.load(Ordering::Relaxed)),
+    )
+}
+
+/// Adds one timed section of `ns` nanoseconds to a span accumulator. This
+/// is the raw entry point behind [`crate::span`]; callers that already
+/// hold a duration (e.g. the runtime's counters) call it directly.
+#[inline]
+pub fn record_span_ns(kind: SpanKind, ns: u64) {
+    let cell = &SPANS[kind.idx()];
+    cell.count.fetch_add(1, Ordering::Relaxed);
+    cell.total_ns.fetch_add(ns, Ordering::Relaxed);
+    cell.max_ns.fetch_max(ns, Ordering::Relaxed);
+}
+
+/// Snapshot of one span accumulator: `(count, total_ns, max_ns)`.
+pub fn span_snapshot(kind: SpanKind) -> (u64, u64, u64) {
+    let cell = &SPANS[kind.idx()];
+    (
+        cell.count.load(Ordering::Relaxed),
+        cell.total_ns.load(Ordering::Relaxed),
+        cell.max_ns.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes every counter, gauge, histogram, and span accumulator (between
+/// benchmark phases or tests).
+pub fn reset() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in &GAUGES {
+        g.store(0, Ordering::Relaxed);
+    }
+    for h in &HISTS {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum_bits.store(0, Ordering::Relaxed);
+    }
+    for s in &SPANS {
+        s.count.store(0, Ordering::Relaxed);
+        s.total_ns.store(0, Ordering::Relaxed);
+        s.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    // The registry is global; tests touching it run under this lock so
+    // parallel test threads don't interleave resets.
+    pub(crate) static REGISTRY_TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn counters_and_gauges() {
+        let _guard = REGISTRY_TEST_LOCK.lock();
+        reset();
+        count(CounterKind::TraceEvents, 2);
+        count(CounterKind::TraceEvents, 1);
+        assert_eq!(counter_value(CounterKind::TraceEvents), 3);
+        set_gauge(GaugeKind::LastSuccessRatio, 0.75);
+        assert_eq!(gauge_value(GaugeKind::LastSuccessRatio), 0.75);
+        max_gauge(GaugeKind::PeakNodeUtil, 0.5);
+        max_gauge(GaugeKind::PeakNodeUtil, 0.25); // lower: ignored
+        assert_eq!(gauge_value(GaugeKind::PeakNodeUtil), 0.5);
+        reset();
+        assert_eq!(counter_value(CounterKind::TraceEvents), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_fixed_bounds() {
+        let _guard = REGISTRY_TEST_LOCK.lock();
+        reset();
+        // Staleness bounds: 0,1,2,4,8,16,32 + overflow.
+        observe(HistKind::Staleness, 0.0); // bucket 0
+        observe(HistKind::Staleness, 1.0); // bucket 1 (inclusive upper)
+        observe(HistKind::Staleness, 3.0); // bucket 3 (<=4)
+        observe(HistKind::Staleness, 100.0); // overflow
+        let (buckets, count, sum) = histogram_snapshot(HistKind::Staleness);
+        assert_eq!(buckets, vec![1, 1, 0, 1, 0, 0, 0, 1]);
+        assert_eq!(count, 4);
+        assert!((sum - 104.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_accumulates_and_tracks_max() {
+        let _guard = REGISTRY_TEST_LOCK.lock();
+        reset();
+        record_span_ns(SpanKind::Gemm, 100);
+        record_span_ns(SpanKind::Gemm, 300);
+        record_span_ns(SpanKind::Gemm, 200);
+        let (count, total, max) = span_snapshot(SpanKind::Gemm);
+        assert_eq!((count, total, max), (3, 600, 300));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SpanKind::SnapshotPublish.name(), "snapshot_publish");
+        assert_eq!(CounterKind::EpisodesTraced.name(), "episodes_traced");
+        assert_eq!(GaugeKind::PeakLinkUtil.name(), "peak_link_util");
+        assert_eq!(HistKind::NodeUtil.name(), "node_util");
+        assert_eq!(HistKind::Staleness.bounds().len() + 1, 8);
+    }
+}

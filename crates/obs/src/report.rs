@@ -1,0 +1,190 @@
+//! The serializable per-run observability report: a snapshot of the whole
+//! metrics registry, merged into `BENCH_PR4.json` by `perf_report`.
+
+use crate::registry::{
+    counter_value, gauge_value, histogram_snapshot, span_snapshot, CounterKind, GaugeKind,
+    HistKind, SpanKind,
+};
+use serde::{Deserialize, Serialize};
+
+/// One named monotonic counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterStat {
+    /// Stable snake_case name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One named last-value gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeStat {
+    /// Stable snake_case name.
+    pub name: String,
+    /// Current value.
+    pub value: f64,
+}
+
+/// One bucket of a histogram: observations with `value <= le` (and above
+/// the previous bound); `le = null` is the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketStat {
+    /// Inclusive upper bound, `null` for the overflow bucket.
+    pub le: Option<f64>,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// One named fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramStat {
+    /// Stable snake_case name.
+    pub name: String,
+    /// The buckets, in ascending bound order; the last is the overflow.
+    pub buckets: Vec<BucketStat>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// One named span-timing accumulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Stable snake_case name.
+    pub name: String,
+    /// Times the section ran.
+    pub count: u64,
+    /// Total wall time across runs, milliseconds.
+    pub total_ms: f64,
+    /// Longest single run, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Snapshot of the global metrics registry for one run. The shape is
+/// fixed — every known counter/gauge/histogram/span appears, zeroed if
+/// untouched — so reports diff cleanly across runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Trace schema version this build writes.
+    pub schema: u32,
+    /// All counters.
+    pub counters: Vec<CounterStat>,
+    /// All gauges.
+    pub gauges: Vec<GaugeStat>,
+    /// All histograms.
+    pub histograms: Vec<HistogramStat>,
+    /// All span accumulators.
+    pub spans: Vec<SpanStat>,
+}
+
+impl ObsReport {
+    /// Captures the current registry state.
+    pub fn capture() -> Self {
+        let counters = CounterKind::ALL
+            .iter()
+            .map(|&k| CounterStat {
+                name: k.name().to_string(),
+                value: counter_value(k),
+            })
+            .collect();
+        let gauges = GaugeKind::ALL
+            .iter()
+            .map(|&k| GaugeStat {
+                name: k.name().to_string(),
+                value: gauge_value(k),
+            })
+            .collect();
+        let histograms = HistKind::ALL
+            .iter()
+            .map(|&k| {
+                let (buckets, count, sum) = histogram_snapshot(k);
+                let bounds = k.bounds();
+                HistogramStat {
+                    name: k.name().to_string(),
+                    buckets: buckets
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, count)| BucketStat {
+                            le: bounds.get(i).copied(),
+                            count,
+                        })
+                        .collect(),
+                    count,
+                    sum,
+                }
+            })
+            .collect();
+        let spans = SpanKind::ALL
+            .iter()
+            .map(|&k| {
+                let (count, total_ns, max_ns) = span_snapshot(k);
+                SpanStat {
+                    name: k.name().to_string(),
+                    count,
+                    total_ms: total_ns as f64 / 1e6,
+                    max_ms: max_ns as f64 / 1e6,
+                }
+            })
+            .collect();
+        ObsReport {
+            schema: crate::SCHEMA_VERSION,
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+
+    /// The span stat named `name`, if known.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The counter stat named `name`, if known.
+    pub fn counter(&self, name: &str) -> Option<&CounterStat> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{count, observe, record_span_ns, reset, tests::REGISTRY_TEST_LOCK};
+
+    #[test]
+    fn capture_has_fixed_shape_and_round_trips() {
+        let _guard = REGISTRY_TEST_LOCK.lock();
+        reset();
+        count(CounterKind::TraceEvents, 5);
+        observe(HistKind::Staleness, 2.0);
+        record_span_ns(SpanKind::Gemm, 1_500_000);
+        let r = ObsReport::capture();
+        assert_eq!(r.counters.len(), CounterKind::ALL.len());
+        assert_eq!(r.gauges.len(), GaugeKind::ALL.len());
+        assert_eq!(r.histograms.len(), HistKind::ALL.len());
+        assert_eq!(r.spans.len(), SpanKind::ALL.len());
+        assert_eq!(r.counter("trace_events").unwrap().value, 5);
+        let g = r.span("gemm").unwrap();
+        assert_eq!(g.count, 1);
+        assert!((g.total_ms - 1.5).abs() < 1e-9);
+        // Overflow bucket is the null-bounded last one.
+        let h = r.histograms.iter().find(|h| h.name == "staleness").unwrap();
+        assert_eq!(h.buckets.last().unwrap().le, None);
+        assert_eq!(h.count, 1);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ObsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        reset();
+    }
+
+    #[test]
+    fn untouched_registry_reports_zeros() {
+        let _guard = REGISTRY_TEST_LOCK.lock();
+        reset();
+        let r = ObsReport::capture();
+        assert!(r.counters.iter().all(|c| c.value == 0));
+        assert!(r.spans.iter().all(|s| s.count == 0));
+        assert!(r.histograms.iter().all(|h| h.count == 0));
+    }
+}

@@ -66,6 +66,7 @@ impl RolloutCollector {
         rng: &mut StdRng,
     ) -> Rollout {
         assert!(!envs.is_empty(), "need at least one environment");
+        let _span = dosco_obs::span(dosco_obs::SpanKind::RolloutCollect);
         let n_envs = envs.len();
         let obs_dim = actor.inputs();
         let batch = n_steps * n_envs;

@@ -25,11 +25,21 @@ pub(crate) struct Counters {
     pub(crate) channel_full_stalls: AtomicU64,
     /// Times an actor blocked on the staleness clock gate.
     pub(crate) gate_waits: AtomicU64,
+    /// Nanoseconds actors spent blocked in full-channel sends.
+    pub(crate) send_wait_ns: AtomicU64,
+    /// Nanoseconds the learner spent waiting to receive batches.
+    pub(crate) recv_wait_ns: AtomicU64,
+    /// Nanoseconds spent cloning and publishing policy snapshots.
+    pub(crate) publish_ns: AtomicU64,
 }
 
 impl Counters {
     pub(crate) fn inc(field: &AtomicU64) {
         field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_ns(field: &AtomicU64, ns: u64) {
+        field.fetch_add(ns, Ordering::Relaxed);
     }
 
     pub(crate) fn record_staleness(&self, staleness: u64) {
@@ -56,6 +66,9 @@ impl Counters {
             staleness_bound,
             channel_full_stalls: self.channel_full_stalls.load(Ordering::Relaxed),
             gate_waits: self.gate_waits.load(Ordering::Relaxed),
+            send_wait_ms: self.send_wait_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            recv_wait_ms: self.recv_wait_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            publish_ms: self.publish_ns.load(Ordering::Relaxed) as f64 / 1e6,
         }
     }
 }
@@ -87,6 +100,12 @@ pub struct RuntimeReport {
     pub channel_full_stalls: u64,
     /// Times an actor blocked on the staleness clock gate.
     pub gate_waits: u64,
+    /// Wall time actors spent blocked in full-channel sends, milliseconds.
+    pub send_wait_ms: f64,
+    /// Wall time the learner spent waiting for batches, milliseconds.
+    pub recv_wait_ms: f64,
+    /// Wall time spent cloning and publishing policy snapshots, milliseconds.
+    pub publish_ms: f64,
 }
 
 #[cfg(test)]
@@ -116,5 +135,21 @@ mod tests {
         let r = Counters::default().report("sync", 1, 0);
         assert_eq!(r.mean_staleness, 0.0);
         assert_eq!(r.batches_produced, 0);
+        assert_eq!(r.send_wait_ms, 0.0);
+        assert_eq!(r.recv_wait_ms, 0.0);
+        assert_eq!(r.publish_ms, 0.0);
+    }
+
+    #[test]
+    fn wait_times_accumulate_to_milliseconds() {
+        let c = Counters::default();
+        Counters::add_ns(&c.send_wait_ns, 1_500_000);
+        Counters::add_ns(&c.send_wait_ns, 500_000);
+        Counters::add_ns(&c.recv_wait_ns, 250_000);
+        Counters::add_ns(&c.publish_ns, 3_000_000);
+        let r = c.report("async", 2, 8);
+        assert!((r.send_wait_ms - 2.0).abs() < 1e-12);
+        assert!((r.recv_wait_ms - 0.25).abs() < 1e-12);
+        assert!((r.publish_ms - 3.0).abs() < 1e-12);
     }
 }

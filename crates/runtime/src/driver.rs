@@ -36,6 +36,7 @@ use dosco_rl::rollout::{Rollout, RolloutCollector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// The outcome of one runtime training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -207,6 +208,7 @@ fn actor_loop(
             version: snap.version,
             rng: batch_rng,
         };
+        let version = msg.version;
         // try_send first so full-channel backpressure is observable.
         let msg = match tx.try_send(msg) {
             Ok(()) => None,
@@ -217,11 +219,25 @@ fn actor_loop(
             Err(TrySendError::Disconnected(m)) => return rng_holder.or(m.rng),
         };
         if let Some(m) = msg {
-            if let Err(SendError(m)) = tx.send(m) {
+            // The blocking fallback is the channel-send wait worth
+            // measuring; the try_send fast path never blocks.
+            let wait = Instant::now();
+            let sent = tx.send(m);
+            let ns = u64::try_from(wait.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            Counters::add_ns(&shared.counters.send_wait_ns, ns);
+            dosco_obs::registry::record_span_ns(dosco_obs::SpanKind::ChannelSend, ns);
+            if let Err(SendError(m)) = sent {
                 return rng_holder.or(m.rng);
             }
         }
         Counters::inc(&shared.counters.batches_produced);
+        dosco_obs::emit(dosco_obs::Stream::actor(idx as u64), || {
+            dosco_obs::Event::BatchProduced {
+                actor: idx as u64,
+                version,
+                transitions: (shared.params.n_steps * envs.len()) as u64,
+            }
+        });
         shared.clocks.advance(idx);
         if let Some(ret) = ret_rx {
             match ret.recv() {
@@ -332,11 +348,27 @@ pub fn train<L: Learner>(
                 let mut merged: Option<Rollout> = None;
                 let mut circ_rng: Option<StdRng> = None;
                 for _ in 0..config.minibatch_batches {
-                    match rx.recv() {
+                    let wait = Instant::now();
+                    let received = rx.recv();
+                    let ns = u64::try_from(wait.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    Counters::add_ns(&counters.recv_wait_ns, ns);
+                    dosco_obs::registry::record_span_ns(dosco_obs::SpanKind::ChannelRecv, ns);
+                    match received {
                         Ok(batch) => {
                             Counters::inc(&counters.batches_consumed);
                             let staleness = version - batch.version;
                             counters.record_staleness(staleness);
+                            dosco_obs::registry::observe(
+                                dosco_obs::HistKind::Staleness,
+                                staleness as f64,
+                            );
+                            dosco_obs::emit(dosco_obs::Stream::learner(), || {
+                                dosco_obs::Event::BatchConsumed {
+                                    version: batch.version,
+                                    learner_version: version,
+                                    staleness,
+                                }
+                            });
                             assert!(
                                 staleness <= config.max_staleness,
                                 "staleness bound violated: batch from version {} consumed \
@@ -369,6 +401,7 @@ pub fn train<L: Learner>(
                     learner.set_lr(base * (1.0 - 0.9 * frac));
                 }
                 {
+                    let _span = dosco_obs::span(dosco_obs::SpanKind::LearnerUpdate);
                     let rng = circ_rng
                         .as_mut()
                         .or(final_rng.as_mut())
@@ -379,12 +412,26 @@ pub fn train<L: Learner>(
                 Counters::inc(&counters.snapshots_published);
                 stats.mean_rewards.push(rollout.mean_reward());
                 stats.total_steps += rollout.actions.len();
+                let publish_start = Instant::now();
                 let snap = Arc::new(PolicySnapshot {
                     version,
                     actor: learner.actor().clone(),
                     critic: learner.critic().clone(),
                 });
                 slot.publish(Arc::clone(&snap));
+                let publish_ns =
+                    u64::try_from(publish_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                Counters::add_ns(&counters.publish_ns, publish_ns);
+                dosco_obs::registry::record_span_ns(
+                    dosco_obs::SpanKind::SnapshotPublish,
+                    publish_ns,
+                );
+                dosco_obs::emit(dosco_obs::Stream::learner(), || {
+                    dosco_obs::Event::SnapshotPublished {
+                        version,
+                        total_steps: stats.total_steps as u64,
+                    }
+                });
                 if let Some(r) = circ_rng.take() {
                     // Sync lockstep: hand snapshot + RNG back — except after
                     // the final update, so the actor collects no extra batch.

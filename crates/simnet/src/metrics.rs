@@ -57,12 +57,22 @@ impl Metrics {
     /// (Eq. 1). Flows still in flight at the horizon count for neither.
     ///
     /// Returns 1.0 when no flow has terminated yet (vacuous success).
+    /// Aggregation code should prefer [`Metrics::success_ratio_opt`] so
+    /// vacuous episodes can be skipped instead of inflating averages.
     pub fn success_ratio(&self) -> f64 {
+        self.success_ratio_opt().unwrap_or(1.0)
+    }
+
+    /// [`Metrics::success_ratio`] without the vacuous-success default:
+    /// `None` when no flow has terminated, so callers aggregating across
+    /// episodes can skip (rather than count as perfect) episodes where the
+    /// objective is undefined.
+    pub fn success_ratio_opt(&self) -> Option<f64> {
         let terminated = self.completed + self.dropped_total();
         if terminated == 0 {
-            1.0
+            None
         } else {
-            self.completed as f64 / terminated as f64
+            Some(self.completed as f64 / terminated as f64)
         }
     }
 
@@ -99,6 +109,28 @@ mod tests {
         assert_eq!(m.dropped_for(DropReason::NodeCapacity), 0);
         assert!((m.success_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(m.in_flight(), 2);
+    }
+
+    /// The optional variant distinguishes "no flow terminated" (undefined
+    /// objective) from a genuinely perfect episode; the plain accessor
+    /// keeps the historical 1.0 default.
+    #[test]
+    fn success_ratio_opt_flags_vacuous_episodes() {
+        let mut m = Metrics::new();
+        assert_eq!(m.success_ratio_opt(), None);
+        assert_eq!(m.success_ratio(), 1.0);
+        // Arrivals alone don't make the ratio defined: nothing terminated.
+        m.arrived = 4;
+        assert_eq!(m.success_ratio_opt(), None);
+        m.completed = 3;
+        m.record_drop(DropReason::DeadlineExpired);
+        assert_eq!(m.success_ratio_opt(), Some(0.75));
+        assert_eq!(m.success_ratio(), 0.75);
+        // All-dropped is defined (0.0), not vacuous.
+        let mut all_drop = Metrics::new();
+        all_drop.arrived = 1;
+        all_drop.record_drop(DropReason::NodeCapacity);
+        assert_eq!(all_drop.success_ratio_opt(), Some(0.0));
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub struct Simulation {
     events: Vec<SimEvent>,
     metrics: Metrics,
     finished: bool,
+    /// Trace stream for this episode; `None` when tracing is disabled at
+    /// construction time, so the per-decision hot path is a single
+    /// `is_none` check.
+    obs_stream: Option<dosco_obs::Stream>,
+    /// Decisions between mid-episode trace samples.
+    obs_stride: u64,
 }
 
 impl Simulation {
@@ -88,9 +94,20 @@ impl Simulation {
             events: Vec::new(),
             metrics: Metrics::new(),
             finished: false,
+            obs_stream: dosco_obs::trace_enabled().then(|| dosco_obs::Stream::sim(seed)),
+            obs_stride: dosco_obs::sample_stride(),
         };
         for idx in 0..sim.arrivals.len() {
             sim.schedule_next_arrival(idx, 0.0);
+        }
+        if let Some(stream) = sim.obs_stream {
+            dosco_obs::emit(stream, || dosco_obs::Event::EpisodeStart {
+                seed,
+                horizon: sim.config.horizon,
+                nodes: sim.config.topology.num_nodes() as u64,
+                links: sim.config.topology.num_links() as u64,
+                ingresses: sim.config.ingresses.len() as u64,
+            });
         }
         sim
     }
@@ -239,6 +256,7 @@ impl Simulation {
         }
         self.time = self.config.horizon;
         self.finished = true;
+        self.emit_episode_end();
         None
     }
 
@@ -257,6 +275,9 @@ impl Simulation {
         match action {
             Action::Local => self.apply_local(dp),
             Action::Forward(i) => self.apply_forward(dp, i),
+        }
+        if self.obs_stream.is_some() && self.metrics.decisions.is_multiple_of(self.obs_stride) {
+            self.emit_sample();
         }
     }
 
@@ -278,6 +299,85 @@ impl Simulation {
             coordinator.observe(self, &events);
         }
         &self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (dosco_obs). All emitters are gated on `obs_stream`,
+    // set once at construction: with tracing disabled the only cost on
+    // the decision path is one `is_none` check.
+    // ------------------------------------------------------------------
+
+    /// Mean and max utilization `used_i / cap_i` over a resource vector
+    /// and its id-ordered capacities (zero-capacity resources count as 0).
+    fn utilization(used: &[f64], caps: impl Iterator<Item = f64>) -> (f64, f64) {
+        if used.is_empty() {
+            return (0.0, 0.0);
+        }
+        let (mut sum, mut max) = (0.0, 0.0f64);
+        for (&u, c) in used.iter().zip(caps) {
+            let util = if c > 0.0 { u / c } else { 0.0 };
+            sum += util;
+            max = max.max(util);
+        }
+        (sum / used.len() as f64, max)
+    }
+
+    /// Emits one mid-episode [`dosco_obs::Event::EpisodeSample`] and feeds
+    /// the utilization/success metrics into the global registry.
+    fn emit_sample(&self) {
+        let Some(stream) = self.obs_stream else {
+            return;
+        };
+        let (node_util_mean, node_util_max) =
+            Self::utilization(&self.node_used, self.config.topology.node_capacities());
+        let (link_util_mean, link_util_max) =
+            Self::utilization(&self.link_used, self.config.topology.link_capacities());
+        let m = &self.metrics;
+        dosco_obs::registry::count(dosco_obs::CounterKind::DecisionSamples, 1);
+        if let Some(r) = m.success_ratio_opt() {
+            dosco_obs::registry::set_gauge(dosco_obs::GaugeKind::LastSuccessRatio, r);
+        }
+        dosco_obs::registry::set_gauge(dosco_obs::GaugeKind::LastInFlight, m.in_flight() as f64);
+        dosco_obs::registry::max_gauge(dosco_obs::GaugeKind::PeakNodeUtil, node_util_max);
+        dosco_obs::registry::max_gauge(dosco_obs::GaugeKind::PeakLinkUtil, link_util_max);
+        dosco_obs::registry::observe(dosco_obs::HistKind::NodeUtil, node_util_max);
+        dosco_obs::registry::observe(dosco_obs::HistKind::LinkUtil, link_util_max);
+        dosco_obs::emit(stream, || dosco_obs::Event::EpisodeSample {
+            time: self.time,
+            decisions: m.decisions,
+            arrived: m.arrived,
+            completed: m.completed,
+            dropped: m.dropped_total(),
+            in_flight: m.in_flight(),
+            success_ratio: m.success_ratio_opt(),
+            node_util_mean,
+            node_util_max,
+            link_util_mean,
+            link_util_max,
+            instances: self.instances.len() as u64,
+        });
+    }
+
+    /// Emits the final [`dosco_obs::Event::EpisodeEnd`] when the horizon
+    /// is reached.
+    fn emit_episode_end(&self) {
+        let Some(stream) = self.obs_stream else {
+            return;
+        };
+        dosco_obs::registry::count(dosco_obs::CounterKind::EpisodesTraced, 1);
+        let m = &self.metrics;
+        dosco_obs::emit(stream, || dosco_obs::Event::EpisodeEnd {
+            time: self.time,
+            arrived: m.arrived,
+            completed: m.completed,
+            dropped: m.dropped_total(),
+            in_flight: m.in_flight(),
+            success_ratio: m.success_ratio_opt(),
+            avg_e2e_delay: m.avg_e2e_delay(),
+            decisions: m.decisions,
+            instances_started: m.instances_started,
+            instances_stopped: m.instances_stopped,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -737,6 +837,62 @@ mod tests {
         for l in sim.topology().link_ids() {
             assert!(sim.link_used(l).abs() < 1e-9);
         }
+    }
+
+    /// A flow dropped *after* `apply_local` already scheduled its
+    /// `ReleaseNode` must still release exactly its reserved demand at the
+    /// scheduled time — neither leaking the reservation (drop cancels
+    /// nothing) nor releasing twice.
+    #[test]
+    fn dropped_flow_releases_reserved_node_capacity_exactly_once() {
+        /// Processes every flow at node 0 and records the node's usage at
+        /// each fresh (component-bearing) decision point.
+        struct Probe {
+            samples: Vec<(f64, f64)>,
+        }
+        impl Coordinator for Probe {
+            fn decide(&mut self, sim: &Simulation, dp: &DecisionPoint) -> Action {
+                if dp.component.is_some() {
+                    self.samples.push((dp.time, sim.node_used(NodeId(0))));
+                }
+                Action::Local
+            }
+        }
+
+        let mut cfg = line_scenario();
+        cfg.topology.scale_capacities(2.0 / 10.0, 1.0); // node capacity 2.0
+        // Flow A: arrives t=10, reserves 1.0 until t=15 (duration 5), but
+        // its 1.5 ms deadline expires at the post-processing decision
+        // (t=12) -> dropped with the release still queued for t=15.
+        cfg.ingresses[0].profile = FlowProfile::new(1.0, 5.0, 1.5);
+        // Flow B: arrives t=10 too, reserves 1.0 until t=20 -> at t=17 the
+        // node must hold exactly B's demand.
+        cfg.ingresses.push(IngressSpec {
+            profile: FlowProfile::new(1.0, 10.0, 50.0),
+            ..cfg.ingresses[0].clone()
+        });
+        // Observer flow C: its arrival decision at t=17 samples the node.
+        cfg.ingresses.push(IngressSpec {
+            pattern: ArrivalPattern::Fixed { interval: 17.0 },
+            profile: FlowProfile::new(1.0, 10.0, 50.0),
+            ..cfg.ingresses[0].clone()
+        });
+        cfg.horizon = 19.0;
+        let mut sim = Simulation::new(cfg, 1);
+        let mut probe = Probe { samples: Vec::new() };
+        let m = sim.run(&mut probe).clone();
+
+        assert_eq!(m.arrived, 3);
+        assert_eq!(m.dropped_for(DropReason::DeadlineExpired), 1, "flow A");
+        let at_17: Vec<f64> = probe
+            .samples
+            .iter()
+            .filter(|(t, _)| *t == 17.0)
+            .map(|&(_, used)| used)
+            .collect();
+        // 2.0 here would mean A's reservation leaked (drop cancelled the
+        // release); 0.0 would mean it was released twice (B's share lost).
+        assert_eq!(at_17, vec![1.0], "node 0 usage at t=17");
     }
 
     #[test]

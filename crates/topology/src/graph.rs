@@ -229,6 +229,17 @@ impl Topology {
         self.nodes.iter().map(|n| n.capacity).fold(0.0, f64::max)
     }
 
+    /// Node capacities in node-id order — the denominators for
+    /// utilization telemetry sampled against per-node usage vectors.
+    pub fn node_capacities(&self) -> impl ExactSizeIterator<Item = f64> + '_ {
+        self.nodes.iter().map(|n| n.capacity)
+    }
+
+    /// Link capacities in link-id order (see [`Self::node_capacities`]).
+    pub fn link_capacities(&self) -> impl ExactSizeIterator<Item = f64> + '_ {
+        self.links.iter().map(|l| l.capacity)
+    }
+
     /// Whether the graph is connected (every node reachable from node 0).
     pub fn is_connected(&self) -> bool {
         if self.nodes.is_empty() {
@@ -474,6 +485,17 @@ mod tests {
         assert_eq!(t.network_degree(), 2);
         assert!(t.is_connected());
         assert_eq!(t.max_node_capacity(), 3.0);
+    }
+
+    #[test]
+    fn capacity_iterators_follow_id_order() {
+        let t = triangle();
+        let nodes: Vec<f64> = t.node_capacities().collect();
+        assert_eq!(nodes, vec![1.0, 2.0, 3.0]);
+        let links: Vec<f64> = t.link_capacities().collect();
+        assert_eq!(links, vec![5.0, 4.0, 3.0]);
+        assert_eq!(t.node_capacities().len(), t.num_nodes());
+        assert_eq!(t.link_capacities().len(), t.num_links());
     }
 
     #[test]

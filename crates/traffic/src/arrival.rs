@@ -30,9 +30,18 @@ pub trait ArrivalProcess: fmt::Debug + Send {
 
 /// Deterministic arrivals every `interval` time units: `interval`,
 /// `2·interval`, … (the paper's *fixed* pattern, interval 10).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The arrival index is tracked as an integer, so every returned time is
+/// exactly `k · interval` in one multiplication — long sequential runs
+/// cannot drift off the grid the way repeated `t + interval` float sums
+/// (or re-deriving `k` from an already-rounded `t`) can.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FixedInterval {
     interval: f64,
+    /// Index of the next scheduled arrival: arrival `k` occurs at
+    /// `k · interval`. Purely derived playback state — not serialized,
+    /// rewound to 1 by [`ArrivalProcess::reset`].
+    next_k: u64,
 }
 
 impl FixedInterval {
@@ -46,26 +55,72 @@ impl FixedInterval {
             interval.is_finite() && interval > 0.0,
             "interval must be finite and positive, got {interval}"
         );
-        FixedInterval { interval }
+        FixedInterval { interval, next_k: 1 }
+    }
+
+    /// Grid point of arrival index `k` (`k · interval`, one rounding).
+    fn grid(&self, k: u64) -> f64 {
+        k as f64 * self.interval
     }
 }
 
 impl ArrivalProcess for FixedInterval {
     fn next_arrival(&mut self, now: f64, _rng: &mut dyn RngCore) -> f64 {
-        // Next multiple of `interval` strictly after `now`.
-        let k = (now / self.interval).floor() + 1.0;
-        let t = k * self.interval;
-        if t <= now {
-            t + self.interval
-        } else {
-            t
+        // Fast path: sequential playback. `now` sits in the window
+        // [previous arrival, next arrival): hand out the scheduled grid
+        // point and advance the integer index — no division, no drift.
+        if self.grid(self.next_k) > now && self.grid(self.next_k - 1) <= now {
+            let t = self.grid(self.next_k);
+            self.next_k += 1;
+            return t;
         }
+        // Resync: the caller jumped (or rewound) in time. Find the minimal
+        // k with k·interval strictly after `now`, starting from the float
+        // estimate and correcting both ways so division rounding can
+        // neither skip nor double-count a grid point.
+        let mut k = ((now / self.interval).floor().max(0.0) as u64).saturating_add(1);
+        while k > 1 && self.grid(k - 1) > now {
+            k -= 1;
+        }
+        while self.grid(k) <= now {
+            k += 1;
+        }
+        self.next_k = k + 1;
+        self.grid(k)
     }
 
-    fn reset(&mut self) {}
+    fn reset(&mut self) {
+        self.next_k = 1;
+    }
 
     fn mean_rate(&self) -> Option<f64> {
         Some(1.0 / self.interval)
+    }
+}
+
+// Manual impls: only `interval` is configuration; `next_k` is playback
+// state that must not leak into (or be required from) serialized configs.
+impl Serialize for FixedInterval {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "interval".to_string(),
+            serde::Value::Float(self.interval),
+        )])
+    }
+}
+
+impl Deserialize for FixedInterval {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::new("FixedInterval: expected object"))?;
+        let interval: f64 = serde::field(obj, "interval", "f64")?;
+        if !(interval.is_finite() && interval > 0.0) {
+            return Err(serde::Error::new(format!(
+                "FixedInterval: interval must be finite and positive, got {interval}"
+            )));
+        }
+        Ok(FixedInterval { interval, next_k: 1 })
     }
 }
 
@@ -394,6 +449,88 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn fixed_rejects_zero_interval() {
         FixedInterval::new(0.0);
+    }
+
+    /// Regression: with a binary-unrepresentable interval (0.1), 1000
+    /// sequential arrivals must stay exactly on the integer grid
+    /// `k · interval` — no skipped or doubled grid points, no accumulated
+    /// `t + interval` float drift.
+    #[test]
+    fn fixed_interval_no_drift_on_unrepresentable_interval() {
+        let mut p = FixedInterval::new(0.1);
+        let mut r = rng();
+        let mut t = 0.0;
+        for k in 1..=1000u64 {
+            t = p.next_arrival(t, &mut r);
+            assert_eq!(
+                t.to_bits(),
+                (k as f64 * 0.1).to_bits(),
+                "arrival {k} drifted off the grid: got {t}"
+            );
+        }
+        assert!((t - 100.0).abs() < 1e-9);
+    }
+
+    /// Regression: querying exactly at a grid point must return the next
+    /// grid point (strictly-after contract), never the same one again and
+    /// never `t + interval` drift — including far from zero.
+    #[test]
+    fn fixed_interval_exact_boundary_values() {
+        let mut p = FixedInterval::new(0.1);
+        let mut r = rng();
+        // Jump straight to a large exact-ish boundary.
+        let boundary = 700.0 * 0.1;
+        let next = p.next_arrival(boundary, &mut r);
+        assert!(next > boundary);
+        assert_eq!(next.to_bits(), (701.0_f64 * 0.1).to_bits());
+        // Rewinding mid-grid re-serves the strictly-next point.
+        assert_eq!(p.next_arrival(14.55, &mut r), 146.0 * 0.1);
+        // A hair below a grid point still yields that grid point.
+        let just_below = 700.0 * 0.1 - 1e-12;
+        assert_eq!(
+            p.next_arrival(just_below, &mut r).to_bits(),
+            (700.0_f64 * 0.1).to_bits()
+        );
+    }
+
+    /// `reset` rewinds the internal arrival index so a reused process
+    /// replays the same sequence from the start.
+    #[test]
+    fn fixed_interval_reset_replays_sequence() {
+        let mut p = FixedInterval::new(3.0);
+        let mut r = rng();
+        let first: Vec<f64> = (0..5)
+            .scan(0.0, |t, _| {
+                *t = p.next_arrival(*t, &mut r);
+                Some(*t)
+            })
+            .collect();
+        p.reset();
+        let second: Vec<f64> = (0..5)
+            .scan(0.0, |t, _| {
+                *t = p.next_arrival(*t, &mut r);
+                Some(*t)
+            })
+            .collect();
+        assert_eq!(first, second);
+        assert_eq!(first, vec![3.0, 6.0, 9.0, 12.0, 15.0]);
+    }
+
+    /// Serialization carries only the configuration, not playback state:
+    /// a mid-playback process round-trips to a fresh one.
+    #[test]
+    fn fixed_interval_serde_skips_playback_state() {
+        let mut p = FixedInterval::new(10.0);
+        let mut r = rng();
+        p.next_arrival(0.0, &mut r);
+        p.next_arrival(10.0, &mut r);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, r#"{"interval":10.0}"#);
+        let back: FixedInterval = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, FixedInterval::new(10.0));
+        // Missing/invalid intervals are rejected, not defaulted.
+        assert!(serde_json::from_str::<FixedInterval>(r#"{"interval":-1.0}"#).is_err());
+        assert!(serde_json::from_str::<FixedInterval>(r#"{}"#).is_err());
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub enum TraceError {
     Parse {
         /// 1-based line number.
         line: usize,
-        /// Offending content.
+        /// The field that failed to parse as a rate (after column
+        /// selection and trimming) — what the parser actually rejected.
+        field: String,
+        /// The raw offending line, for locating it in the source file.
         content: String,
     },
 }
@@ -36,8 +39,11 @@ impl fmt::Display for TraceError {
             TraceError::InvalidBinWidth(w) => {
                 write!(f, "invalid bin width {w}: must be finite and > 0")
             }
-            TraceError::Parse { line, content } => {
-                write!(f, "cannot parse trace line {line}: {content:?}")
+            TraceError::Parse { line, field, content } => {
+                write!(
+                    f,
+                    "cannot parse rate field {field:?} on trace line {line}: {content:?}"
+                )
             }
         }
     }
@@ -75,25 +81,45 @@ impl Trace {
 
     /// Parses a rate series from CSV text: one rate per line, or
     /// `time,rate` pairs (the time column is ignored; bins are assumed
-    /// uniform at `bin_width`). Blank lines and `#` comments are skipped.
+    /// uniform at `bin_width`). Blank lines and `#` comments are skipped;
+    /// a non-numeric first data line (a column header like `time,rate`)
+    /// is skipped explicitly; trailing commas (`"5,"`) are tolerated by
+    /// taking the last *non-empty* field of each line.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Parse`] with the offending line on malformed
-    /// input, plus all [`Trace::new`] errors.
+    /// Returns [`TraceError::Parse`] naming both the rejected field and
+    /// the raw offending line, plus all [`Trace::new`] errors.
     pub fn from_csv(text: &str, bin_width: f64) -> Result<Self, TraceError> {
         let mut rates = Vec::new();
+        let mut saw_data_line = false;
         for (i, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let field = line.rsplit(',').next().unwrap_or(line).trim();
-            let rate: f64 = field.parse().map_err(|_| TraceError::Parse {
-                line: i + 1,
-                content: raw.to_string(),
-            })?;
-            rates.push(rate);
+            let first_data_line = !saw_data_line;
+            saw_data_line = true;
+            // Last non-empty comma-separated field: the rate column of a
+            // `time,rate` pair, the whole line when there is no comma, and
+            // still the rate when the line carries a trailing comma.
+            let field = line
+                .rsplit(',')
+                .map(str::trim)
+                .find(|f| !f.is_empty())
+                .unwrap_or("");
+            match field.parse::<f64>() {
+                Ok(rate) => rates.push(rate),
+                // Only the very first data line gets header forgiveness.
+                Err(_) if first_data_line => {}
+                Err(_) => {
+                    return Err(TraceError::Parse {
+                        line: i + 1,
+                        field: field.to_string(),
+                        content: raw.to_string(),
+                    });
+                }
+            }
         }
         Trace::new(rates, bin_width)
     }
@@ -230,15 +256,90 @@ mod tests {
     }
 
     #[test]
-    fn csv_reports_offending_line() {
+    fn csv_reports_offending_line_and_field() {
         let err = Trace::from_csv("1.0\nnot-a-number\n", 1.0).unwrap_err();
         assert_eq!(
             err,
             TraceError::Parse {
                 line: 2,
+                field: "not-a-number".into(),
                 content: "not-a-number".into()
             }
         );
+        // In a time,rate pair the *field* names what the parser rejected,
+        // while content still carries the whole raw line.
+        let err = Trace::from_csv("0,1.0\n5,oops\n", 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::Parse {
+                line: 2,
+                field: "oops".into(),
+                content: "5,oops".into()
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("\"oops\""), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    /// A non-numeric first data line is a column header and is skipped —
+    /// but header forgiveness applies to that line only.
+    #[test]
+    fn csv_skips_header_line() {
+        let t = Trace::from_csv("time,rate\n0,1.0\n5,2.5\n", 5.0).unwrap();
+        assert_eq!(t.rates(), &[1.0, 2.5]);
+        // Comments/blanks before the header don't consume the forgiveness.
+        let t = Trace::from_csv("# source: x\n\nrate\n3.0\n", 5.0).unwrap();
+        assert_eq!(t.rates(), &[3.0]);
+        // A second non-numeric line is a real error.
+        let err = Trace::from_csv("time,rate\n0,1.0\nbad\n", 5.0).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 3, .. }), "{err}");
+        // Header-only input yields an empty trace error, not a parse error.
+        assert_eq!(Trace::from_csv("time,rate\n", 5.0), Err(TraceError::Empty));
+    }
+
+    /// Trailing commas leave an empty last field; the parser must fall
+    /// back to the last non-empty one.
+    #[test]
+    fn csv_tolerates_trailing_comma() {
+        let t = Trace::from_csv("5,\n2.5,\n", 1.0).unwrap();
+        assert_eq!(t.rates(), &[5.0, 2.5]);
+        let t = Trace::from_csv("0,1.5,\n", 1.0).unwrap();
+        assert_eq!(t.rates(), &[1.5]);
+        // All-empty fields still fail (line 2: not the header).
+        let err = Trace::from_csv("1.0\n,,\n", 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::Parse {
+                line: 2,
+                field: "".into(),
+                content: ",,".into()
+            }
+        );
+    }
+
+    /// `rate_at` at exact bin and cycle boundaries: a boundary belongs to
+    /// the bin it opens, and the cycle end wraps to bin 0 — never an
+    /// out-of-range index.
+    #[test]
+    fn rate_at_exact_boundaries_wrap() {
+        let t = Trace::new(vec![1.0, 2.0, 3.0], 10.0).unwrap();
+        // Interior bin boundaries open the next bin.
+        assert_eq!(t.rate_at(10.0), 2.0);
+        assert_eq!(t.rate_at(20.0), 3.0);
+        // The exact cycle boundary wraps to bin 0, as does every multiple.
+        assert_eq!(t.rate_at(30.0), 1.0);
+        assert_eq!(t.rate_at(60.0), 1.0);
+        assert_eq!(t.rate_at(90.0), 1.0);
+        // Just below the cycle end stays in the last bin.
+        assert_eq!(t.rate_at(30.0 - 1e-9), 3.0);
+        // Negative times wrap backwards into the cycle and always land on
+        // a real bin (the clamp guards rem_euclid rounding at the edge).
+        for &neg in &[-1e-18, -0.5, -10.0, -30.0] {
+            let r = t.rate_at(neg);
+            assert!(t.rates().contains(&r), "rate_at({neg}) = {r}");
+        }
+        assert_eq!(t.rate_at(-0.5), 3.0);
     }
 
     #[test]

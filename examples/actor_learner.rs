@@ -8,6 +8,12 @@
 //! cargo run --release --example actor_learner
 //! ```
 //!
+//! Set `DOSCO_TRACE=/tmp/run.jsonl` to capture a structured JSONL event
+//! trace (episode samples, batch hand-offs, snapshot publishes). Tracing
+//! switches the runtime to lockstep sync mode so the trace is
+//! byte-identical across runs with the same seed; `DOSCO_SPANS=1`
+//! additionally arms the hot-path span timers.
+//!
 //! For the lockstep variant that is bit-identical to the serial training
 //! loop, swap in `RuntimeConfig::sync()` — or set
 //! `TrainConfig { runtime: Some(...), .. }` to route the full
@@ -22,6 +28,11 @@ use dosco::simnet::ScenarioConfig;
 use dosco::traffic::ArrivalPattern;
 
 fn main() {
+    // Observability from the environment: DOSCO_TRACE installs a JSONL
+    // recorder, DOSCO_SPANS arms span timers, DOSCO_TRACE_SAMPLE sets the
+    // mid-episode sampling stride.
+    let trace_path = dosco::obs::init_from_env();
+
     // The paper's base scenario: Abilene, 2 ingress nodes, Poisson
     // arrivals, the FW -> IDS -> Video service chain.
     let scenario = ScenarioConfig::paper_base(2)
@@ -49,8 +60,16 @@ fn main() {
     };
     let mut agent = A2c::new(obs_dim, num_actions, agent_cfg, 0);
 
+    // Async interleaving is nondeterministic by design, so a trace run
+    // drops to lockstep sync mode: same seed -> byte-identical trace.
+    let mode = if trace_path.is_some() {
+        println!("DOSCO_TRACE set: using sync mode for a deterministic trace");
+        Mode::Sync
+    } else {
+        Mode::Async
+    };
     let config = RuntimeConfig {
-        mode: Mode::Async,
+        mode,
         n_actors: 2,
         channel_capacity: 4,
         minibatch_batches: 1,
@@ -90,4 +109,9 @@ fn main() {
         "conservation invariant"
     );
     println!("conservation holds: produced == consumed + in-flight");
+
+    if let Some(path) = trace_path {
+        dosco::obs::flush().expect("write trace file");
+        println!("wrote JSONL event trace to {}", path.display());
+    }
 }

@@ -13,6 +13,15 @@ cargo test -q --workspace
 echo "== cargo test (actor-learner runtime) =="
 cargo test -q -p dosco-runtime
 
+echo "== cargo test (observability layer) =="
+cargo test -q -p dosco-obs
+
+echo "== obs disabled-path overhead (release, <1% contract) =="
+cargo test --release -p dosco-bench --test obs_overhead -- --include-ignored
+
+echo "== obs trace determinism (byte-identical same-seed runs) =="
+cargo test -q --test obs_trace
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -9,6 +9,7 @@
 pub use dosco_baselines as baselines;
 pub use dosco_core as core;
 pub use dosco_nn as nn;
+pub use dosco_obs as obs;
 pub use dosco_rl as rl;
 pub use dosco_runtime as runtime;
 pub use dosco_simnet as simnet;
