@@ -23,4 +23,4 @@ pub mod sp;
 
 pub use central::{train_central, CentralConfig, CentralPolicy, CentralizedCoordinator};
 pub use gcasp::Gcasp;
-pub use sp::ShortestPath;
+pub use sp::{sp_action, ShortestPath};

@@ -32,6 +32,15 @@ impl ShortestPath {
     }
 }
 
+/// One-shot SP decision without holding a coordinator: SP is stateless,
+/// so a single decision can be answered from the simulation alone. This
+/// is the degradation path of the `dosco_serve` fabric — when a node's
+/// inference shard is down, its decisions fall back to shortest-path
+/// coordination until the shard recovers.
+pub fn sp_action(sim: &Simulation, dp: &DecisionPoint) -> Action {
+    ShortestPath::new().decide(sim, dp)
+}
+
 impl Coordinator for ShortestPath {
     fn decide(&mut self, sim: &Simulation, dp: &DecisionPoint) -> Action {
         let flow = sim.flow(dp.flow).expect("decision refers to a live flow");

@@ -1,0 +1,64 @@
+//! Serving-plane throughput: decisions per second through the sharded
+//! `dosco_serve` fabric (batched inference) versus the per-decision
+//! in-process `DistributedAgents` loop, over the same episode workload.
+//!
+//! Three configurations, all serving the identical greedy policy on the
+//! paper base scenario with 8 concurrent episodes:
+//! - `per-decision`: `dosco_core::eval::evaluate` per episode — one
+//!   un-batched forward per decision (the baseline deployment),
+//! - `serve-1-shard`: the fabric with a single shard — all episodes'
+//!   decisions batch into one forward per epoch,
+//! - `serve-2-shards`: two shards — smaller batches, but two workers.
+//!
+//! The outcomes are bit-identical across all three (the fabric's
+//! determinism contract); only the wall clock differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosco_bench::scenarios::base_scenario;
+use dosco_core::policy::PolicyMetadata;
+use dosco_core::CoordinationPolicy;
+use dosco_nn::mlp::Mlp;
+use dosco_serve::{serve, ServeConfig};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const EPISODES: u64 = 8;
+
+fn workload() -> (CoordinationPolicy, dosco_simnet::ScenarioConfig, Vec<u64>) {
+    let scenario = base_scenario(2, dosco_traffic::ArrivalPattern::paper_poisson(), 400.0);
+    let degree = scenario.topology.network_degree();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let actor = Mlp::paper_arch(4 * degree + 4, degree + 1, &mut rng);
+    let policy = CoordinationPolicy::new(actor, degree, PolicyMetadata::default());
+    (policy, scenario, (0..EPISODES).collect())
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let (policy, scenario, seeds) = workload();
+    let mut group = c.benchmark_group("serve/8-episodes");
+
+    group.bench_function("per-decision", |b| {
+        b.iter(|| {
+            for &s in &seeds {
+                black_box(dosco_core::eval::evaluate(&policy, &scenario, s));
+            }
+        })
+    });
+
+    group.bench_function("serve-1-shard", |b| {
+        b.iter(|| black_box(serve(&policy, None, &scenario, &seeds, &ServeConfig::new(1))))
+    });
+
+    group.bench_function("serve-2-shards", |b| {
+        b.iter(|| black_box(serve(&policy, None, &scenario, &seeds, &ServeConfig::new(2))))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve_throughput
+}
+criterion_main!(benches);

@@ -1,14 +1,17 @@
-//! Machine-readable performance report for the parallel compute layer and
-//! the actor–learner runtime: times the blocked GEMM kernels against the
-//! retained naive references, the pool-parallel stages (forward/backward,
-//! K-FAC, rollout collection, eval fan-out) at 1 vs 4 worker threads, and
-//! serial vs actor–learner training throughput (`dosco_runtime`), and the
-//! observability layer's trace-capture overhead (`dosco_obs`), then
-//! writes `BENCH_PR4.json` at the repo root (or `--out <path>`).
+//! Machine-readable performance report for the parallel compute layer,
+//! the actor–learner runtime, and the serving plane: times the blocked
+//! GEMM kernels against the retained naive references, the pool-parallel
+//! stages (forward/backward, K-FAC, rollout collection, eval fan-out) at
+//! 1 vs 4 worker threads, serial vs actor–learner training throughput
+//! (`dosco_runtime`), the observability layer's trace-capture overhead
+//! (`dosco_obs`), and per-decision vs batched sharded inference
+//! (`dosco_serve`, with decisions/sec in the record note), then writes
+//! `BENCH_PR5.json` at the repo root (or `--out <path>`).
 //!
 //! Span timers are armed for the whole run, so the report also embeds an
 //! `obs` snapshot: per-kind span totals (GEMM, K-FAC, rollout collection,
-//! channel waits, snapshot publishes) plus trace counters and histograms.
+//! channel waits, snapshot publishes, serve batch forwards) plus trace
+//! counters, the serve batch-size histogram, and fallback/swap counters.
 //!
 //! All timings are best-of-N wall clock. Thread-scaling numbers are only
 //! meaningful when the host has multiple cores; the report records the
@@ -257,9 +260,64 @@ fn runtime_throughput(mode: &str, note: &str) -> BenchRecord {
     )
 }
 
+/// Per-decision `evaluate` loop vs the sharded batched serving fabric
+/// over the same 8-episode workload. Decisions/sec and the observed
+/// batch-size range land in the record note — the fabric's win comes
+/// from amortizing one matrix forward across every queued decision.
+fn serve_throughput(shards: usize, host: usize) -> BenchRecord {
+    use dosco_core::policy::PolicyMetadata;
+    use dosco_core::CoordinationPolicy;
+    use dosco_serve::{serve, ServeConfig};
+
+    let scenario = base_scenario(2, dosco_traffic::ArrivalPattern::paper_poisson(), 400.0);
+    let degree = scenario.topology.network_degree();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let actor = Mlp::paper_arch(4 * degree + 4, degree + 1, &mut rng);
+    let policy = CoordinationPolicy::new(actor, degree, PolicyMetadata::default());
+    let seeds: Vec<u64> = (0..8).collect();
+
+    let per_decision = time_ms(5, || {
+        seeds
+            .iter()
+            .map(|&s| dosco_core::eval::evaluate(&policy, &scenario, s).decisions)
+            .sum::<u64>()
+    });
+    let cfg = ServeConfig::new(shards);
+    let mut report = None;
+    let batched = time_ms(5, || {
+        let out = serve(&policy, None, &scenario, &seeds, &cfg);
+        let arrived = out.report.decisions;
+        report = Some(out.report);
+        arrived
+    });
+    let report = report.expect("serve ran");
+    let decisions = report.decisions as f64;
+    let note = format!(
+        "{:.0} vs {:.0} decisions/sec; max batch {} rows across {} shard(s){}",
+        decisions / (per_decision / 1e3),
+        decisions / (batched / 1e3),
+        report.max_batch_rows,
+        shards,
+        if host < 2 {
+            "; single-core host: shard threads timeshare with the frontend, \
+             so batching is the only lever here"
+        } else {
+            ""
+        }
+    );
+    BenchRecord::new(
+        &format!("serve/8-episodes-{shards}-shards"),
+        "per-decision DistributedAgents loop",
+        "dosco_serve batched fabric",
+        per_decision,
+        batched,
+        &note,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
     // Arm span timers so the embedded obs snapshot covers the whole run.
     dosco_obs::set_spans_enabled(true);
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -305,6 +363,10 @@ fn main() {
     records.push(runtime_throughput("sync", &runtime_note));
     eprintln!("[perf_report] runtime throughput (async)...");
     records.push(runtime_throughput("async", &runtime_note));
+    eprintln!("[perf_report] serve throughput (1 shard)...");
+    records.push(serve_throughput(1, host));
+    eprintln!("[perf_report] serve throughput (2 shards)...");
+    records.push(serve_throughput(2, host));
     eprintln!("[perf_report] obs trace capture overhead...");
     records.push(obs_trace_overhead(
         "cost of a live JSONL trace on the simulation hot path; the \

@@ -59,6 +59,6 @@ pub mod train;
 
 pub use gymenv::CoordEnv;
 pub use observe::ObservationAdapter;
-pub use policy::{CoordinationPolicy, DistributedAgents};
+pub use policy::{per_node_seed, CoordinationPolicy, DistributedAgents};
 pub use reward::RewardConfig;
 pub use train::{train_distributed, Algorithm, TrainConfig, TrainedPolicy};

@@ -68,20 +68,29 @@ impl Categorical {
 
     /// Samples one action per row (inverse-CDF).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
-        (0..self.batch())
-            .map(|r| {
-                let u: f32 = rng.gen();
-                let mut acc = 0.0;
-                let row = self.log_probs.row(r);
-                for (i, &lp) in row.iter().enumerate() {
-                    acc += lp.exp();
-                    if u < acc {
-                        return i;
-                    }
-                }
-                row.len() - 1 // guard against f32 rounding
-            })
-            .collect()
+        (0..self.batch()).map(|r| self.sample_row(r, rng)).collect()
+    }
+
+    /// Samples one action for a single row — the per-row counterpart of
+    /// [`Categorical::sample`], for callers holding one RNG stream per
+    /// row (e.g. per-node agents sharing a batched forward pass). Given
+    /// the same RNG state, this draws exactly what `sample` would draw
+    /// for that row: one `gen::<f32>()` and the same inverse-CDF walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn sample_row<R: Rng + ?Sized>(&self, row: usize, rng: &mut R) -> usize {
+        let u: f32 = rng.gen();
+        let mut acc = 0.0;
+        let r = self.log_probs.row(row);
+        for (i, &lp) in r.iter().enumerate() {
+            acc += lp.exp();
+            if u < acc {
+                return i;
+            }
+        }
+        r.len() - 1 // guard against f32 rounding
     }
 
     /// The most likely action per row (greedy inference, Sec. IV-C2).
@@ -228,6 +237,21 @@ mod tests {
         }
         let frac = ones as f32 / n as f32;
         assert!((frac - 0.75).abs() < 0.02, "{frac}");
+    }
+
+    /// `sample_row` with per-row RNG clones reproduces the batch `sample`
+    /// draw-for-draw.
+    #[test]
+    fn sample_row_matches_batch_sample() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.2, 0.8], &[1.5, 0.0, -1.0], &[0.0, 0.0, 0.0]]);
+        let d = Categorical::new(&logits);
+        let mut batch_rng = StdRng::seed_from_u64(17);
+        // The batch path draws row 0, then row 1, then row 2 from one
+        // stream; replay the same stream positions per row.
+        let mut row_rng = StdRng::seed_from_u64(17);
+        let batch = d.sample(&mut batch_rng);
+        let rows: Vec<usize> = (0..3).map(|r| d.sample_row(r, &mut row_rng)).collect();
+        assert_eq!(batch, rows);
     }
 
     #[test]

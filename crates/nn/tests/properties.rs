@@ -161,6 +161,42 @@ proptest! {
         prop_assert_eq!(bits(&out), bits(&a.matmul_ref(&b)));
     }
 
+    /// A B-row batch forward is *bitwise* identical to B single-row
+    /// forwards — the serving fabric's correctness keystone: shards may
+    /// batch queued decisions into one matrix call without changing any
+    /// decision. Holds because the blocked GEMM computes each output
+    /// element independently with a single ascending-k accumulator.
+    #[test]
+    fn batch_forward_bitwise_matches_single_rows(
+        seed in 0u64..500,
+        batch in 1usize..9,
+        hidden in 1usize..24,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[7, hidden, 5], Activation::Tanh, &mut rng);
+        let x = rand_matrix(batch, 7, &mut rng);
+        let batched = net.forward(&x);
+        prop_assert_eq!(batched.rows(), batch);
+        for r in 0..batch {
+            let single = net.forward(&Matrix::row_vector(x.row(r)));
+            let brow: Vec<u32> = batched.row(r).iter().map(|v| v.to_bits()).collect();
+            let srow: Vec<u32> = single.row(0).iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&brow, &srow, "row {} diverged", r);
+        }
+    }
+
+    /// Same keystone under thread-count variation: the batched forward is
+    /// bit-identical whether the pool runs 1 or 4 workers.
+    #[test]
+    fn batch_forward_thread_invariant(seed in 0u64..100) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[6, 12, 4], Activation::Tanh, &mut rng);
+        let x = rand_matrix(5, 6, &mut rng);
+        let t1 = par::with_threads(1, || net.forward(&x));
+        let t4 = par::with_threads(4, || net.forward(&x));
+        prop_assert_eq!(bits(&t1), bits(&t4));
+    }
+
     /// apply_update with the negated gradient and tiny step never
     /// increases a quadratic loss (descent direction property).
     #[test]

@@ -17,14 +17,24 @@ pub enum CounterKind {
     EpisodesTraced,
     /// Mid-episode samples taken at decision points.
     DecisionSamples,
+    /// Decisions answered by the serving fabric (batched + fallback).
+    ServeDecisions,
+    /// Serve decisions degraded to the shortest-path fallback because the
+    /// owning shard was down or delayed.
+    ServeFallbacks,
+    /// Policy hot-swaps broadcast to serving shards.
+    ServeSwaps,
 }
 
 impl CounterKind {
     /// All counters, in report order.
-    pub const ALL: [CounterKind; 3] = [
+    pub const ALL: [CounterKind; 6] = [
         CounterKind::TraceEvents,
         CounterKind::EpisodesTraced,
         CounterKind::DecisionSamples,
+        CounterKind::ServeDecisions,
+        CounterKind::ServeFallbacks,
+        CounterKind::ServeSwaps,
     ];
 
     /// Stable snake_case name used in reports.
@@ -33,6 +43,9 @@ impl CounterKind {
             CounterKind::TraceEvents => "trace_events",
             CounterKind::EpisodesTraced => "episodes_traced",
             CounterKind::DecisionSamples => "decision_samples",
+            CounterKind::ServeDecisions => "serve_decisions",
+            CounterKind::ServeFallbacks => "serve_fallbacks",
+            CounterKind::ServeSwaps => "serve_swaps",
         }
     }
 
@@ -52,15 +65,21 @@ pub enum GaugeKind {
     PeakNodeUtil,
     /// Peak link utilization seen at any sample.
     PeakLinkUtil,
+    /// Mailbox depth of the most recently flushed serving shard.
+    LastServeQueueDepth,
+    /// Deepest serving-shard mailbox seen at any flush.
+    PeakServeQueueDepth,
 }
 
 impl GaugeKind {
     /// All gauges, in report order.
-    pub const ALL: [GaugeKind; 4] = [
+    pub const ALL: [GaugeKind; 6] = [
         GaugeKind::LastSuccessRatio,
         GaugeKind::LastInFlight,
         GaugeKind::PeakNodeUtil,
         GaugeKind::PeakLinkUtil,
+        GaugeKind::LastServeQueueDepth,
+        GaugeKind::PeakServeQueueDepth,
     ];
 
     /// Stable snake_case name used in reports.
@@ -70,6 +89,8 @@ impl GaugeKind {
             GaugeKind::LastInFlight => "last_in_flight",
             GaugeKind::PeakNodeUtil => "peak_node_util",
             GaugeKind::PeakLinkUtil => "peak_link_util",
+            GaugeKind::LastServeQueueDepth => "last_serve_queue_depth",
+            GaugeKind::PeakServeQueueDepth => "peak_serve_queue_depth",
         }
     }
 
@@ -87,6 +108,8 @@ pub enum HistKind {
     NodeUtil,
     /// Link utilization at episode samples.
     LinkUtil,
+    /// Rows per batched forward in the serving fabric's shards.
+    ServeBatchSize,
 }
 
 /// Upper bucket bounds for staleness (versions); a final overflow bucket
@@ -94,12 +117,19 @@ pub enum HistKind {
 const STALENESS_BOUNDS: [f64; 7] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 /// Upper bucket bounds for utilizations (fractions of capacity).
 const UTIL_BOUNDS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+/// Upper bucket bounds for serve batch sizes (rows per forward).
+const BATCH_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 /// Largest bucket count of any histogram (bounds + overflow).
 const MAX_BUCKETS: usize = STALENESS_BOUNDS.len() + 1;
 
 impl HistKind {
     /// All histograms, in report order.
-    pub const ALL: [HistKind; 3] = [HistKind::Staleness, HistKind::NodeUtil, HistKind::LinkUtil];
+    pub const ALL: [HistKind; 4] = [
+        HistKind::Staleness,
+        HistKind::NodeUtil,
+        HistKind::LinkUtil,
+        HistKind::ServeBatchSize,
+    ];
 
     /// Stable snake_case name used in reports.
     pub fn name(self) -> &'static str {
@@ -107,6 +137,7 @@ impl HistKind {
             HistKind::Staleness => "staleness",
             HistKind::NodeUtil => "node_util",
             HistKind::LinkUtil => "link_util",
+            HistKind::ServeBatchSize => "serve_batch_size",
         }
     }
 
@@ -116,6 +147,7 @@ impl HistKind {
         match self {
             HistKind::Staleness => &STALENESS_BOUNDS,
             HistKind::NodeUtil | HistKind::LinkUtil => &UTIL_BOUNDS,
+            HistKind::ServeBatchSize => &BATCH_BOUNDS,
         }
     }
 
@@ -143,11 +175,15 @@ pub enum SpanKind {
     LearnerUpdate,
     /// Snapshot clone + publish into the policy slot.
     SnapshotPublish,
+    /// One batched forward (stack → GEMM → head) inside a serving shard.
+    ServeBatchForward,
+    /// One serve decision end to end: request creation to action applied.
+    ServeDecision,
 }
 
 impl SpanKind {
     /// All spans, in report order.
-    pub const ALL: [SpanKind; 8] = [
+    pub const ALL: [SpanKind; 10] = [
         SpanKind::Gemm,
         SpanKind::KfacStats,
         SpanKind::KfacInversion,
@@ -156,6 +192,8 @@ impl SpanKind {
         SpanKind::ChannelRecv,
         SpanKind::LearnerUpdate,
         SpanKind::SnapshotPublish,
+        SpanKind::ServeBatchForward,
+        SpanKind::ServeDecision,
     ];
 
     /// Stable snake_case name used in reports.
@@ -169,6 +207,8 @@ impl SpanKind {
             SpanKind::ChannelRecv => "channel_recv",
             SpanKind::LearnerUpdate => "learner_update",
             SpanKind::SnapshotPublish => "snapshot_publish",
+            SpanKind::ServeBatchForward => "serve_batch_forward",
+            SpanKind::ServeDecision => "serve_decision",
         }
     }
 
@@ -401,9 +441,16 @@ pub(crate) mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(SpanKind::SnapshotPublish.name(), "snapshot_publish");
+        assert_eq!(SpanKind::ServeDecision.name(), "serve_decision");
         assert_eq!(CounterKind::EpisodesTraced.name(), "episodes_traced");
+        assert_eq!(CounterKind::ServeFallbacks.name(), "serve_fallbacks");
         assert_eq!(GaugeKind::PeakLinkUtil.name(), "peak_link_util");
+        assert_eq!(GaugeKind::PeakServeQueueDepth.name(), "peak_serve_queue_depth");
         assert_eq!(HistKind::NodeUtil.name(), "node_util");
         assert_eq!(HistKind::Staleness.bounds().len() + 1, 8);
+        // Every histogram fits the shared fixed-size bucket arrays.
+        for h in HistKind::ALL {
+            assert!(h.bounds().len() < MAX_BUCKETS, "{} overflows", h.name());
+        }
     }
 }

@@ -22,15 +22,22 @@ pub struct PolicySnapshot {
 /// slot's `Arc`, `latest` clones it. Reads never block publishes beyond
 /// the swap itself, and old snapshots stay alive only while an actor still
 /// collects under them.
+///
+/// The slot is public API: besides the training runtime's actors, the
+/// `dosco_serve` fabric subscribes its inference shards here, polling
+/// [`PolicySlot::version`] at epoch boundaries and hot-swapping to
+/// [`PolicySlot::latest`] when it moved — the hand-off point between the
+/// training plane and the serving plane.
 #[derive(Debug)]
-pub(crate) struct PolicySlot {
+pub struct PolicySlot {
     latest: Mutex<Arc<PolicySnapshot>>,
     version: AtomicU64,
     closed: AtomicBool,
 }
 
 impl PolicySlot {
-    pub(crate) fn new(initial: PolicySnapshot) -> Self {
+    /// Creates a slot holding `initial` as the current snapshot.
+    pub fn new(initial: PolicySnapshot) -> Self {
         PolicySlot {
             version: AtomicU64::new(initial.version),
             latest: Mutex::new(Arc::new(initial)),
@@ -39,30 +46,32 @@ impl PolicySlot {
     }
 
     /// Replaces the slot content with a newer snapshot.
-    pub(crate) fn publish(&self, snapshot: Arc<PolicySnapshot>) {
+    pub fn publish(&self, snapshot: Arc<PolicySnapshot>) {
         let version = snapshot.version;
         *self.latest.lock().expect("policy slot poisoned") = snapshot;
         self.version.store(version, Ordering::Release);
     }
 
     /// The most recently published snapshot.
-    pub(crate) fn latest(&self) -> Arc<PolicySnapshot> {
+    pub fn latest(&self) -> Arc<PolicySnapshot> {
         Arc::clone(&self.latest.lock().expect("policy slot poisoned"))
     }
 
-    /// The version of the most recently published snapshot (cheap read).
-    #[cfg(test)]
-    pub(crate) fn version(&self) -> u64 {
+    /// The version of the most recently published snapshot (cheap read —
+    /// one atomic load; subscribers poll this before paying for
+    /// [`PolicySlot::latest`]).
+    pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
 
     /// Marks the runtime as shutting down; actors exit at their next batch
     /// boundary.
-    pub(crate) fn close(&self) {
+    pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
     }
 
-    pub(crate) fn is_closed(&self) -> bool {
+    /// Whether [`PolicySlot::close`] was called.
+    pub fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
     }
 }

@@ -1,0 +1,534 @@
+//! The serving frontend: episode driving, routing, epoch barriers,
+//! hot-swap broadcast, fault handling, and decision accounting.
+//!
+//! The frontend owns E concurrent episodes (the serving load — each
+//! episode is an independent stream of flow decisions) and runs an
+//! epoch loop:
+//!
+//! 1. **Boundary work**: poll the attached [`PolicySlot`] version and,
+//!    if it moved, broadcast [`ShardMsg::Swap`] so every shard switches
+//!    at this epoch; apply fault-script transitions (kill / respawn /
+//!    re-sync).
+//! 2. **Collect**: advance every live episode to its next decision
+//!    point, observe locally, and route the request to the shard owning
+//!    the node — or answer immediately with the shortest-path fallback
+//!    if that shard is down.
+//! 3. **Flush**: send the epoch barrier; each shard answers its queued
+//!    requests from one batched forward.
+//! 4. **Apply**: apply every answer in episode order and account for
+//!    every decision (batched + fallback == total, always).
+//!
+//! Determinism: each episode's simulation consumes exactly the decision
+//! sequence a per-decision run would produce, batch order is fixed by
+//! request id, and per-node RNG streams live with the owning shard —
+//! so shard count cannot change any decision.
+
+use crate::fault::{FaultKind, FaultScript};
+use crate::shard::{
+    run_shard, shard_of, DecisionRequest, DecisionResponse, ShardMsg, ShardWorker,
+};
+use crossbeam::channel::{self, Sender};
+use crossbeam::thread::{Scope, ScopedJoinHandle};
+use dosco_core::policy::PolicyMetadata;
+use dosco_core::CoordinationPolicy;
+use dosco_obs::registry;
+use dosco_obs::{CounterKind, SpanKind};
+use dosco_runtime::{PolicySlot, PolicySnapshot};
+use dosco_simnet::{Action, Metrics, ScenarioConfig, Simulation};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the serving fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker shards the nodes are partitioned across (clamped to the
+    /// node count).
+    pub num_shards: usize,
+    /// Bounded mailbox capacity per shard. Shards drain continuously,
+    /// so a small capacity only adds backpressure, never deadlock.
+    pub mailbox_capacity: usize,
+    /// `Some(seed)` samples actions from per-node RNG streams
+    /// (`per_node_seed(seed, node)`); `None` serves greedy argmax.
+    pub stochastic_seed: Option<u64>,
+    /// Epoch-scripted fault injection.
+    pub faults: FaultScript,
+}
+
+impl ServeConfig {
+    /// A greedy, fault-free configuration with `num_shards` shards.
+    pub fn new(num_shards: usize) -> Self {
+        ServeConfig {
+            num_shards,
+            mailbox_capacity: 64,
+            stochastic_seed: None,
+            faults: FaultScript::new(),
+        }
+    }
+
+    /// Switches to stochastic serving with per-node streams from `seed`.
+    #[must_use]
+    pub fn with_stochastic_seed(mut self, seed: u64) -> Self {
+        self.stochastic_seed = Some(seed);
+        self
+    }
+
+    /// Installs a fault script.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultScript) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Checks the configuration is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_shards == 0 {
+            return Err("num_shards must be at least 1".into());
+        }
+        if self.mailbox_capacity < 2 {
+            return Err("mailbox_capacity must be at least 2".into());
+        }
+        Ok(())
+    }
+}
+
+/// Counters the fabric reports after a run. The conservation invariant
+/// — every decision is either batched through a shard or answered by
+/// the fallback — is checked before the report is returned.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Epoch-loop iterations (including the final empty epoch).
+    pub epochs: u64,
+    /// Total decisions applied to episodes.
+    pub decisions: u64,
+    /// Decisions answered by shard batches.
+    pub batched_decisions: u64,
+    /// Decisions answered by the shortest-path fallback while the
+    /// owning shard was down.
+    pub fallback_decisions: u64,
+    /// Policy hot-swaps broadcast (version changes observed on the hub).
+    pub swaps: u64,
+    /// Shards shut down by kill windows.
+    pub shard_kills: u64,
+    /// Shards respawned after kill windows (re-synced to the latest
+    /// published version).
+    pub shard_respawns: u64,
+    /// Largest batched forward, in rows.
+    pub max_batch_rows: u64,
+    /// Policy version the fabric ended on.
+    pub final_version: u64,
+    /// Per-shard policy version at shutdown.
+    pub shard_versions: Vec<u64>,
+    /// Batched decisions per policy version, ascending by version.
+    pub decisions_by_version: Vec<(u64, u64)>,
+}
+
+impl ServeReport {
+    /// Whether every decision is accounted for: batched + fallback ==
+    /// total. The fabric asserts this before returning.
+    pub fn conserved(&self) -> bool {
+        self.decisions == self.batched_decisions + self.fallback_decisions
+    }
+}
+
+/// The result of a serving run: per-episode metrics plus the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Final metrics of each episode, in `episode_seeds` order —
+    /// directly comparable to per-decision `evaluate` runs.
+    pub metrics: Vec<Metrics>,
+    /// The fabric's accounting.
+    pub report: ServeReport,
+}
+
+/// Builds the servable policy from a published snapshot. Runs on the
+/// frontend thread so a bad snapshot fails loudly there, never inside a
+/// shard holding un-answered requests.
+fn policy_from_snapshot(snap: &PolicySnapshot, degree: usize) -> CoordinationPolicy {
+    CoordinationPolicy::new(
+        snap.actor.clone(),
+        degree,
+        PolicyMetadata {
+            algorithm: format!("hub-snapshot-v{}", snap.version),
+            ..PolicyMetadata::default()
+        },
+    )
+}
+
+/// One shard as the frontend sees it.
+struct ShardHandle<'scope> {
+    /// Mailbox sender; `None` while the shard is killed.
+    tx: Option<Sender<ShardMsg>>,
+    join: Option<ScopedJoinHandle<'scope, ()>>,
+    /// Policy version last delivered to this shard.
+    version: u64,
+}
+
+impl ShardHandle<'_> {
+    fn alive(&self) -> bool {
+        self.tx.is_some()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_shard<'scope, 'env>(
+    s: &Scope<'scope, 'env>,
+    index: usize,
+    num_shards: usize,
+    num_nodes: usize,
+    cfg: &ServeConfig,
+    policy: Arc<CoordinationPolicy>,
+    version: u64,
+    responses: Sender<Vec<DecisionResponse>>,
+) -> ShardHandle<'scope> {
+    let (tx, rx) = channel::bounded(cfg.mailbox_capacity);
+    let stochastic_seed = cfg.stochastic_seed;
+    let join = s.spawn(move |_| {
+        run_shard(ShardWorker {
+            index,
+            num_shards,
+            num_nodes,
+            stochastic_seed,
+            policy,
+            version,
+            mailbox: rx,
+            responses,
+        });
+    });
+    ShardHandle {
+        tx: Some(tx),
+        join: Some(join),
+        version,
+    }
+}
+
+/// Joins a shard thread, re-raising any panic from it.
+fn join_shard(h: &mut ShardHandle<'_>) {
+    if let Some(j) = h.join.take() {
+        if let Err(payload) = j.join() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Serves `episode_seeds.len()` concurrent episodes of `scenario`
+/// through the sharded fabric. See [`serve_with`] for the epoch hook.
+///
+/// # Panics
+///
+/// See [`serve_with`].
+pub fn serve(
+    policy: &CoordinationPolicy,
+    hub: Option<&PolicySlot>,
+    scenario: &ScenarioConfig,
+    episode_seeds: &[u64],
+    cfg: &ServeConfig,
+) -> ServeOutcome {
+    serve_with(policy, hub, scenario, episode_seeds, cfg, |_| {})
+}
+
+/// Like [`serve`], with `on_epoch(epoch)` invoked at every epoch
+/// boundary *before* the hub poll. The hook is the deterministic
+/// injection point: a test (or the example) publishes a snapshot to the
+/// hub at an exact epoch and the swap lands at that boundary on every
+/// run.
+///
+/// When `hub` is attached, the fabric deploys the hub's **latest**
+/// snapshot and follows subsequent publishes; `policy` then only fixes
+/// the observation contract (padded degree). Without a hub, `policy`
+/// itself is served at version 0.
+///
+/// # Panics
+///
+/// Panics if `episode_seeds` is empty, the configuration is invalid,
+/// the scenario is invalid, or a hub snapshot's actor does not match
+/// the policy's observation contract (`4·Δ+4` in, `Δ+1` out).
+pub fn serve_with(
+    policy: &CoordinationPolicy,
+    hub: Option<&PolicySlot>,
+    scenario: &ScenarioConfig,
+    episode_seeds: &[u64],
+    cfg: &ServeConfig,
+    mut on_epoch: impl FnMut(u64),
+) -> ServeOutcome {
+    cfg.validate().expect("serve configuration must be valid");
+    assert!(!episode_seeds.is_empty(), "need at least one episode");
+    let num_nodes = scenario.topology.num_nodes();
+    let num_shards = cfg.num_shards.min(num_nodes);
+    let degree = policy.degree();
+    let adapter = policy.adapter();
+
+    let mut sims: Vec<Simulation> = episode_seeds
+        .iter()
+        .map(|&s| Simulation::new(scenario.clone(), s))
+        .collect();
+    let episodes = sims.len();
+
+    // The policy being served: the hub's latest snapshot when attached,
+    // else the caller's policy at version 0.
+    let (mut current, mut current_version) = match hub {
+        Some(h) => {
+            let snap = h.latest();
+            (Arc::new(policy_from_snapshot(&snap, degree)), snap.version)
+        }
+        None => (Arc::new(policy.clone()), 0),
+    };
+
+    let (resp_tx, resp_rx) = channel::bounded::<Vec<DecisionResponse>>(num_shards + 1);
+
+    let (metrics, report) = crossbeam::thread::scope(|s| {
+        let mut shards: Vec<ShardHandle> = (0..num_shards)
+            .map(|i| {
+                spawn_shard(
+                    s,
+                    i,
+                    num_shards,
+                    num_nodes,
+                    cfg,
+                    Arc::clone(&current),
+                    current_version,
+                    resp_tx.clone(),
+                )
+            })
+            .collect();
+
+        let mut report = ServeReport::default();
+        let mut by_version: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut live = vec![true; episodes];
+        let mut actions: Vec<Option<Action>> = vec![None; episodes];
+        let mut starts: Vec<Option<Instant>> = vec![None; episodes];
+        let mut routed = vec![false; num_shards];
+        let mut next_id: u64 = 0;
+        let mut epoch: u64 = 0;
+
+        loop {
+            on_epoch(epoch);
+
+            // -- Epoch-boundary work: hot-swap poll + fault transitions.
+            if let Some(h) = hub {
+                if h.version() != current_version {
+                    let snap = h.latest();
+                    current = Arc::new(policy_from_snapshot(&snap, degree));
+                    current_version = snap.version;
+                    report.swaps += 1;
+                    registry::count(CounterKind::ServeSwaps, 1);
+                }
+            }
+            let states: Vec<Option<FaultKind>> =
+                (0..num_shards).map(|i| cfg.faults.state(i, epoch)).collect();
+            for i in 0..num_shards {
+                let h = &mut shards[i];
+                if states[i] == Some(FaultKind::Kill) && h.alive() {
+                    // Window start: take the worker down for real.
+                    let tx = h.tx.take().expect("alive shard has a mailbox");
+                    let _ = tx.send(ShardMsg::Shutdown);
+                    drop(tx);
+                    join_shard(h);
+                    report.shard_kills += 1;
+                } else if states[i].is_none() {
+                    if !h.alive() {
+                        // Window end: respawn, re-synced to the latest
+                        // published version (fresh mailbox, fresh state).
+                        *h = spawn_shard(
+                            s,
+                            i,
+                            num_shards,
+                            num_nodes,
+                            cfg,
+                            Arc::clone(&current),
+                            current_version,
+                            resp_tx.clone(),
+                        );
+                        report.shard_respawns += 1;
+                    } else if h.version != current_version {
+                        // Reachable shard lagging the hub: deliver the
+                        // swap at this boundary (covers both the global
+                        // broadcast and post-delay re-sync).
+                        let tx = h.tx.as_ref().expect("alive shard has a mailbox");
+                        tx.send(ShardMsg::Swap {
+                            policy: Arc::clone(&current),
+                            version: current_version,
+                        })
+                        .expect("shard mailbox open");
+                        h.version = current_version;
+                    }
+                }
+            }
+
+            // -- Collect one pending decision per live episode.
+            let spans_on = dosco_obs::spans_enabled();
+            let mut expected = 0usize;
+            let mut fell_back = 0u64;
+            routed.fill(false);
+            for e in 0..episodes {
+                if !live[e] {
+                    continue;
+                }
+                let sim = &mut sims[e];
+                // Coordinator events are dropped, as the in-process
+                // deployment's no-op `observe` does.
+                let _ = sim.drain_events();
+                let Some(dp) = sim.next_decision() else {
+                    live[e] = false;
+                    continue;
+                };
+                if spans_on {
+                    starts[e] = Some(Instant::now());
+                }
+                let owner = shard_of(dp.node.0, num_shards);
+                if states[owner].is_some() || !shards[owner].alive() {
+                    // Graceful degradation: the decision is answered now
+                    // by shortest-path coordination and counted — never
+                    // silently dropped.
+                    actions[e] = Some(dosco_baselines::sp_action(sim, &dp));
+                    report.fallback_decisions += 1;
+                    fell_back += 1;
+                    registry::count(CounterKind::ServeFallbacks, 1);
+                } else {
+                    let obs = adapter.observe(sim, &dp);
+                    let tx = shards[owner].tx.as_ref().expect("alive shard has a mailbox");
+                    tx.send(ShardMsg::Request(DecisionRequest {
+                        id: next_id,
+                        episode: e,
+                        node: dp.node,
+                        obs,
+                    }))
+                    .expect("shard mailbox open");
+                    next_id += 1;
+                    expected += 1;
+                    routed[owner] = true;
+                }
+            }
+            if expected == 0 && fell_back == 0 {
+                // Every episode reached its horizon.
+                epoch += 1;
+                break;
+            }
+
+            // -- Flush barriers, then gather one answer batch per routed
+            // shard (exactly `expected` responses in total).
+            let routed_shards = routed.iter().filter(|&&r| r).count();
+            for (i, shard) in shards.iter().enumerate() {
+                if routed[i] {
+                    let tx = shard.tx.as_ref().expect("routed shard is alive");
+                    tx.send(ShardMsg::Flush { epoch }).expect("shard mailbox open");
+                }
+            }
+            let mut received = 0usize;
+            for _ in 0..routed_shards {
+                let answers = resp_rx.recv().expect("shard answered its barrier");
+                received += answers.len();
+                for resp in answers {
+                    actions[resp.episode] = Some(Action::from_index(resp.action_index));
+                    *by_version.entry(resp.version).or_insert(0) += 1;
+                    report.batched_decisions += 1;
+                    report.max_batch_rows = report.max_batch_rows.max(resp.batch_rows as u64);
+                }
+            }
+            debug_assert_eq!(received, expected, "every routed request answered once");
+
+            // -- Apply in episode order.
+            for e in 0..episodes {
+                if let Some(a) = actions[e].take() {
+                    sims[e].apply(a);
+                    report.decisions += 1;
+                    registry::count(CounterKind::ServeDecisions, 1);
+                    if let Some(t0) = starts[e].take() {
+                        registry::record_span_ns(
+                            SpanKind::ServeDecision,
+                            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                    }
+                }
+            }
+            epoch += 1;
+        }
+
+        // -- Graceful shutdown: barrier-free mailboxes are empty here.
+        for h in &mut shards {
+            if let Some(tx) = h.tx.take() {
+                let _ = tx.send(ShardMsg::Shutdown);
+            }
+        }
+        for h in &mut shards {
+            join_shard(h);
+        }
+
+        report.epochs = epoch;
+        report.final_version = current_version;
+        report.shard_versions = shards.iter().map(|h| h.version).collect();
+        report.decisions_by_version = by_version.into_iter().collect();
+        let metrics: Vec<Metrics> = sims.iter().map(|sim| sim.metrics().clone()).collect();
+        (metrics, report)
+    })
+    .expect("serve scope");
+
+    assert!(
+        report.conserved(),
+        "decision conservation violated: {} != {} batched + {} fallback",
+        report.decisions,
+        report.batched_decisions,
+        report.fallback_decisions
+    );
+    ServeOutcome { metrics, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosco_nn::mlp::{Activation, Mlp};
+    use rand::SeedableRng;
+
+    fn policy(degree: usize) -> CoordinationPolicy {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let actor = Mlp::new(&[4 * degree + 4, 16, degree + 1], Activation::Tanh, &mut rng);
+        CoordinationPolicy::new(actor, degree, PolicyMetadata::default())
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ServeConfig::new(1).validate().is_ok());
+        assert!(ServeConfig::new(0).validate().is_err());
+        let mut c = ServeConfig::new(2);
+        c.mailbox_capacity = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn smoke_run_accounts_for_every_decision() {
+        let scenario = ScenarioConfig::paper_base(2).with_horizon(200.0);
+        let p = policy(scenario.topology.network_degree());
+        let out = serve(&p, None, &scenario, &[1, 2], &ServeConfig::new(2));
+        assert!(out.report.decisions > 0);
+        assert!(out.report.conserved());
+        assert_eq!(out.report.fallback_decisions, 0);
+        assert_eq!(out.metrics.len(), 2);
+        assert_eq!(out.report.final_version, 0);
+        // All batched decisions served at version 0.
+        assert_eq!(
+            out.report.decisions_by_version,
+            vec![(0, out.report.batched_decisions)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one episode")]
+    fn rejects_empty_episode_list() {
+        let scenario = ScenarioConfig::paper_base(1);
+        let p = policy(scenario.topology.network_degree());
+        serve(&p, None, &scenario, &[], &ServeConfig::new(1));
+    }
+
+    /// More shards than nodes is clamped, not an error.
+    #[test]
+    fn clamps_shards_to_node_count() {
+        let scenario = ScenarioConfig::paper_base(1).with_horizon(100.0);
+        let p = policy(scenario.topology.network_degree());
+        let out = serve(&p, None, &scenario, &[3], &ServeConfig::new(1000));
+        assert!(out.report.conserved());
+    }
+}

@@ -1,0 +1,101 @@
+//! Epoch-scripted fault injection for the serving fabric.
+//!
+//! Faults are indexed by the frontend's epoch counter rather than wall
+//! clock, so a chaos scenario degrades the same way on every run — the
+//! fault tests are ordinary deterministic tests.
+
+/// What a fault window does to its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The shard thread is shut down at the window start and respawned —
+    /// re-synced to the latest published policy version — at the window
+    /// end. Models a crashed inference worker.
+    Kill,
+    /// The shard stays alive but stops answering within the epoch; the
+    /// frontend routes around it until the window ends, then re-syncs
+    /// its policy if a swap happened meanwhile. Models a straggler.
+    Delay,
+}
+
+/// One scripted fault: `shard` is unavailable for every epoch in
+/// `[from_epoch, until_epoch)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// The shard index the fault applies to.
+    pub shard: usize,
+    /// Kill or delay.
+    pub kind: FaultKind,
+    /// First epoch the shard is down (inclusive).
+    pub from_epoch: u64,
+    /// Recovery epoch (exclusive): the shard serves again from here.
+    pub until_epoch: u64,
+}
+
+/// A deterministic fault script: a set of [`FaultWindow`]s the frontend
+/// consults at every epoch boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultScript {
+    /// An empty script (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a kill window for `shard` over `[from_epoch, until_epoch)`.
+    #[must_use]
+    pub fn kill(mut self, shard: usize, from_epoch: u64, until_epoch: u64) -> Self {
+        self.windows.push(FaultWindow {
+            shard,
+            kind: FaultKind::Kill,
+            from_epoch,
+            until_epoch,
+        });
+        self
+    }
+
+    /// Adds a delay window for `shard` over `[from_epoch, until_epoch)`.
+    #[must_use]
+    pub fn delay(mut self, shard: usize, from_epoch: u64, until_epoch: u64) -> Self {
+        self.windows.push(FaultWindow {
+            shard,
+            kind: FaultKind::Delay,
+            from_epoch,
+            until_epoch,
+        });
+        self
+    }
+
+    /// The fault affecting `shard` at `epoch`, if any. When windows
+    /// overlap, the earliest-added wins (scripts are small; first match).
+    pub fn state(&self, shard: usize, epoch: u64) -> Option<FaultKind> {
+        self.windows
+            .iter()
+            .find(|w| w.shard == shard && (w.from_epoch..w.until_epoch).contains(&epoch))
+            .map(|w| w.kind)
+    }
+
+    /// All scripted windows.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open() {
+        let s = FaultScript::new().kill(1, 5, 8).delay(0, 2, 3);
+        assert_eq!(s.state(1, 4), None);
+        assert_eq!(s.state(1, 5), Some(FaultKind::Kill));
+        assert_eq!(s.state(1, 7), Some(FaultKind::Kill));
+        assert_eq!(s.state(1, 8), None, "recovery epoch is exclusive");
+        assert_eq!(s.state(0, 2), Some(FaultKind::Delay));
+        assert_eq!(s.state(2, 2), None);
+        assert_eq!(s.windows().len(), 2);
+    }
+}

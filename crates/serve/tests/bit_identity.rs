@@ -1,0 +1,98 @@
+//! The fabric's determinism contract: shard count never changes a
+//! decision, and the fabric reproduces the in-process deployment
+//! bit-for-bit.
+//!
+//! `Metrics` derives `PartialEq` over `f32` fields, so equality here is
+//! bitwise equality of every episode outcome — not "close enough".
+
+use dosco_core::policy::PolicyMetadata;
+use dosco_core::{CoordinationPolicy, DistributedAgents};
+use dosco_nn::mlp::{Activation, Mlp};
+use dosco_serve::{serve, ServeConfig};
+use dosco_simnet::{ScenarioConfig, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn policy(degree: usize) -> CoordinationPolicy {
+    let mut rng = StdRng::seed_from_u64(11);
+    let actor = Mlp::new(&[4 * degree + 4, 24, degree + 1], Activation::Tanh, &mut rng);
+    CoordinationPolicy::new(actor, degree, PolicyMetadata::default())
+}
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig::paper_base(2).with_horizon(400.0)
+}
+
+/// Greedy serving: 1 shard == 4 shards == the per-decision
+/// `DistributedAgents` deployment, on every episode.
+#[test]
+fn greedy_one_shard_four_shards_and_in_process_agree() {
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+    let seeds = [3u64, 7, 13, 29];
+
+    let one = serve(&p, None, &scenario, &seeds, &ServeConfig::new(1));
+    let four = serve(&p, None, &scenario, &seeds, &ServeConfig::new(4));
+    assert_eq!(
+        one.metrics, four.metrics,
+        "shard count changed an episode outcome"
+    );
+    assert_eq!(one.report.decisions, four.report.decisions);
+    assert!(one.report.conserved() && four.report.conserved());
+    assert!(one.report.decisions > 0, "horizon produced no decisions");
+
+    // The per-decision baseline (dosco_core::eval::evaluate drives the
+    // same greedy DistributedAgents loop).
+    let baseline: Vec<_> = seeds
+        .iter()
+        .map(|&s| dosco_core::eval::evaluate(&p, &scenario, s))
+        .collect();
+    assert_eq!(
+        four.metrics, baseline,
+        "batched serving diverged from per-decision inference"
+    );
+}
+
+/// Stochastic serving: the per-node RNG streams make shard count
+/// irrelevant, and a single-episode run reproduces the in-process
+/// stochastic deployment draw for draw.
+#[test]
+fn stochastic_serving_is_shard_count_invariant_and_matches_in_process() {
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+    let seed = 7u64;
+    let cfg = |shards| ServeConfig::new(shards).with_stochastic_seed(seed);
+
+    let one = serve(&p, None, &scenario, &[5], &cfg(1));
+    let three = serve(&p, None, &scenario, &[5], &cfg(3));
+    assert_eq!(
+        one.metrics, three.metrics,
+        "stochastic serving must be shard-count invariant"
+    );
+
+    let mut agents =
+        DistributedAgents::deploy_stochastic(&p, scenario.topology.num_nodes(), seed);
+    let mut sim = Simulation::new(scenario.clone(), 5);
+    sim.run(&mut agents);
+    assert_eq!(
+        one.metrics[0],
+        *sim.metrics(),
+        "serve fabric diverged from DistributedAgents::deploy_stochastic"
+    );
+}
+
+/// Multi-episode stochastic runs stay shard-count invariant too: each
+/// node's stream advances in global request-id order regardless of which
+/// shard holds it.
+#[test]
+fn stochastic_multi_episode_shard_count_invariance() {
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+    let seeds = [101u64, 202, 303];
+    let cfg = |shards| ServeConfig::new(shards).with_stochastic_seed(9);
+
+    let one = serve(&p, None, &scenario, &seeds, &cfg(1));
+    let four = serve(&p, None, &scenario, &seeds, &cfg(4));
+    assert_eq!(one.metrics, four.metrics);
+    assert_eq!(one.report.decisions, four.report.decisions);
+}

@@ -236,6 +236,13 @@ impl Simulation {
     ///
     /// Calling this again without [`Simulation::apply`] returns the same
     /// pending decision.
+    ///
+    /// The `next_decision`/`apply` pair is the external integration
+    /// point: [`Simulation::run`] drives it with an in-process
+    /// [`Coordinator`], while the `dosco_serve` fabric holds the pending
+    /// decision open across a remote batched inference round trip before
+    /// applying — the idempotent pending state is what makes that split
+    /// safe.
     pub fn next_decision(&mut self) -> Option<DecisionPoint> {
         if let Some(dp) = self.pending {
             return Some(dp);

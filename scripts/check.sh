@@ -16,6 +16,15 @@ cargo test -q -p dosco-runtime
 echo "== cargo test (observability layer) =="
 cargo test -q -p dosco-obs
 
+echo "== cargo test (serving fabric) =="
+cargo test -q -p dosco-serve
+
+echo "== serve bit-identity (1 shard == N shards == in-process) =="
+cargo test --release -p dosco-serve --test bit_identity
+
+echo "== serve fault injection (SP fallback + hot-swap accounting) =="
+cargo test --release -p dosco-serve --test fault_injection
+
 echo "== obs disabled-path overhead (release, <1% contract) =="
 cargo test --release -p dosco-bench --test obs_overhead -- --include-ignored
 
@@ -33,5 +42,8 @@ cargo bench --no-run --workspace
 
 echo "== cargo bench (runtime throughput) =="
 cargo bench -p dosco-bench --bench runtime_throughput
+
+echo "== cargo bench (serve throughput) =="
+cargo bench -p dosco-bench --bench serve_throughput
 
 echo "All checks passed."

@@ -12,6 +12,7 @@ pub use dosco_nn as nn;
 pub use dosco_obs as obs;
 pub use dosco_rl as rl;
 pub use dosco_runtime as runtime;
+pub use dosco_serve as serve;
 pub use dosco_simnet as simnet;
 pub use dosco_topology as topology;
 pub use dosco_traffic as traffic;
