@@ -4,9 +4,11 @@
 //! stages (forward/backward, K-FAC, rollout collection, eval fan-out) at
 //! 1 vs 4 worker threads, serial vs actor–learner training throughput
 //! (`dosco_runtime`), the observability layer's trace-capture overhead
-//! (`dosco_obs`), and per-decision vs batched sharded inference
-//! (`dosco_serve`, with decisions/sec in the record note), then writes
-//! `BENCH_PR5.json` at the repo root (or `--out <path>`).
+//! (`dosco_obs`), per-decision vs batched sharded inference
+//! (`dosco_serve`, with decisions/sec in the record note), and the
+//! control plane's ops costs (`dosco_ctl`: HTTP `/metrics` round trips
+//! vs in-process export, registry publish/load vs a bare policy save),
+//! then writes `BENCH_PR6.json` at the repo root (or `--out <path>`).
 //!
 //! Span timers are armed for the whole run, so the report also embeds an
 //! `obs` snapshot: per-kind span totals (GEMM, K-FAC, rollout collection,
@@ -315,9 +317,78 @@ fn serve_throughput(shards: usize, host: usize) -> BenchRecord {
     )
 }
 
+/// In-process metrics export vs a full HTTP `GET /metrics` round trip
+/// against a live `CtlServer` — the price of putting the registry behind
+/// real TCP (connect + request + serialize + frame + read).
+fn ctl_http_metrics(note: &str) -> BenchRecord {
+    use dosco_ctl::{CtlConfig, CtlServer, CtlState};
+    use std::io::{Read, Write};
+
+    let server =
+        CtlServer::start(&CtlConfig::default(), std::sync::Arc::new(CtlState::new()))
+            .expect("start ctl server");
+    let addr = server.addr();
+    let round_trip = || {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response.len()
+    };
+    // 32 requests per timed rep so connection setup jitter averages out.
+    let in_process = time_ms(8, || (0..32).map(|_| dosco_obs::report_json().len()).sum::<usize>());
+    let over_http = time_ms(8, || (0..32).map(|_| round_trip()).sum::<usize>());
+    server.shutdown();
+    BenchRecord::new(
+        "ctl/http-metrics-endpoint",
+        "in-process report_json()",
+        "HTTP GET /metrics round trip",
+        in_process,
+        over_http,
+        note,
+    )
+}
+
+/// Bare checksummed policy save/load vs the registry's
+/// publish/load — the cost of the manifest write, the read-back
+/// verification, and the manifest cross-check on load.
+fn ctl_registry_roundtrip(note: &str) -> BenchRecord {
+    use dosco_core::policy::PolicyMetadata;
+    use dosco_core::CoordinationPolicy;
+    use dosco_ctl::PolicyRegistry;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+    let actor = Mlp::paper_arch(16, 4, &mut rng);
+    let policy = CoordinationPolicy::new(actor, 3, PolicyMetadata::default());
+
+    let dir = std::env::temp_dir().join(format!("dosco-perf-ctl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let bare = dir.join("bare.policy");
+    let direct = time_ms(8, || {
+        policy.save(&bare).expect("save");
+        CoordinationPolicy::load(&bare).expect("load").actor().num_params()
+    });
+    let mut registry = PolicyRegistry::open(dir.join("registry")).expect("open registry");
+    let registered = time_ms(8, || {
+        let meta = registry.publish(&policy).expect("publish");
+        registry.load(meta.version).expect("load").actor().num_params()
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    BenchRecord::new(
+        "ctl/registry-save-load",
+        "bare CoordinationPolicy save+load",
+        "PolicyRegistry publish+load",
+        direct,
+        registered,
+        note,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
     // Arm span timers so the embedded obs snapshot covers the whole run.
     dosco_obs::set_spans_enabled(true);
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -371,6 +442,16 @@ fn main() {
     records.push(obs_trace_overhead(
         "cost of a live JSONL trace on the simulation hot path; the \
          disabled path is a single atomic load per decision",
+    ));
+    eprintln!("[perf_report] ctl http metrics endpoint...");
+    records.push(ctl_http_metrics(
+        "32 exports per rep; the gap is TCP connect + HTTP framing, \
+         not serialization — both sides serialize the same registry",
+    ));
+    eprintln!("[perf_report] ctl registry save/load...");
+    records.push(ctl_registry_roundtrip(
+        "registry adds a manifest write, a read-back verification on \
+         publish, and a checksum cross-check on load",
     ));
 
     let report = BenchReport {

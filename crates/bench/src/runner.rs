@@ -42,54 +42,12 @@ impl Default for ExpBudget {
 }
 
 /// A rejected experiment-budget environment override: names the variable
-/// and the offending value instead of a bare parse panic.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BudgetEnvError {
-    /// The environment variable that failed validation.
-    pub var: &'static str,
-    /// The value that could not be parsed or validated.
-    pub value: String,
-    /// What the variable expects.
-    pub expected: &'static str,
-}
+/// and the offending value instead of a bare parse panic. The shared
+/// [`dosco_obs::env`] helper implements the contract (empty = unset,
+/// malformed = hard error); this alias keeps the historical name.
+pub use dosco_obs::env::EnvParseError as BudgetEnvError;
 
-impl std::fmt::Display for BudgetEnvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "invalid {}={:?}: expected {}",
-            self.var, self.value, self.expected
-        )
-    }
-}
-
-impl std::error::Error for BudgetEnvError {}
-
-/// Parses one override through `get`. Unset and empty/whitespace-only
-/// values both mean "keep the default"; anything else must parse as `T`
-/// and satisfy `valid`, or the error names the variable and raw value.
-fn parse_override<T: std::str::FromStr>(
-    get: &dyn Fn(&str) -> Option<String>,
-    var: &'static str,
-    expected: &'static str,
-    valid: impl Fn(&T) -> bool,
-) -> Result<Option<T>, BudgetEnvError> {
-    let Some(raw) = get(var) else {
-        return Ok(None);
-    };
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
-    }
-    match trimmed.parse::<T>() {
-        Ok(v) if valid(&v) => Ok(Some(v)),
-        _ => Err(BudgetEnvError {
-            var,
-            value: raw,
-            expected,
-        }),
-    }
-}
+use dosco_obs::env::parse_lookup as parse_override;
 
 impl ExpBudget {
     /// Reads overrides from environment variables

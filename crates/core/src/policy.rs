@@ -131,7 +131,12 @@ impl CoordinationPolicy {
         serde_json::from_str(json)
     }
 
-    /// Saves the policy to a JSON file.
+    /// Saves the policy to an integrity-checked artifact file: a one-line
+    /// JSON header carrying the payload length and FNV-1a 64 checksum,
+    /// then the policy JSON itself. [`CoordinationPolicy::load`] verifies
+    /// both before parsing, so truncated or bit-flipped artifacts are
+    /// detected instead of surfacing as confusing parse errors (or worse,
+    /// parsing "successfully" into a different policy).
     ///
     /// # Errors
     ///
@@ -145,29 +150,105 @@ impl CoordinationPolicy {
                 format!("serializing policy for {}: {e}", path.display()),
             )
         })?;
-        std::fs::write(path, json).map_err(|e| {
+        let header = ArtifactHeader {
+            format: ARTIFACT_FORMAT.to_string(),
+            payload_len: json.len() as u64,
+            fnv64: format!("{:016x}", fnv1a64(json.as_bytes())),
+        };
+        let header_json = serde_json::to_string(&header).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("serializing header for {}: {e}", path.display()),
+            )
+        })?;
+        std::fs::write(path, format!("{header_json}\n{json}")).map_err(|e| {
             io::Error::new(e.kind(), format!("writing policy file {}: {e}", path.display()))
         })
     }
 
-    /// Loads a policy from a JSON file.
+    /// Loads a policy from a file written by [`CoordinationPolicy::save`],
+    /// verifying the header's payload length (truncation) and FNV-1a 64
+    /// checksum (corruption) before parsing. Headerless files are parsed
+    /// as legacy bare-JSON artifacts.
     ///
     /// # Errors
     ///
-    /// Returns I/O errors or [`io::ErrorKind::InvalidData`] for malformed
-    /// content; either way the message names the offending path.
+    /// Returns I/O errors or [`io::ErrorKind::InvalidData`] for
+    /// truncated, corrupt, or malformed content; the message names the
+    /// offending path and, for integrity failures, the expected vs.
+    /// actual length or checksum.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref();
-        let json = std::fs::read_to_string(path).map_err(|e| {
+        let content = std::fs::read_to_string(path).map_err(|e| {
             io::Error::new(e.kind(), format!("reading policy file {}: {e}", path.display()))
         })?;
-        Self::from_json(&json).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("parsing policy file {}: {e}", path.display()),
-            )
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let header = content
+            .split_once('\n')
+            .and_then(|(first, rest)| {
+                serde_json::from_str::<ArtifactHeader>(first)
+                    .ok()
+                    .filter(|h| h.format == ARTIFACT_FORMAT)
+                    .map(|h| (h, rest))
+            });
+        let payload = match &header {
+            Some((h, payload)) => {
+                if payload.len() as u64 != h.payload_len {
+                    return Err(invalid(format!(
+                        "policy file {} is truncated or padded: header expects {} payload \
+                         bytes, found {}",
+                        path.display(),
+                        h.payload_len,
+                        payload.len()
+                    )));
+                }
+                let actual = format!("{:016x}", fnv1a64(payload.as_bytes()));
+                if actual != h.fnv64 {
+                    return Err(invalid(format!(
+                        "policy file {} is corrupt: header expects fnv64 checksum {}, \
+                         payload hashes to {}",
+                        path.display(),
+                        h.fnv64,
+                        actual
+                    )));
+                }
+                *payload
+            }
+            // No artifact header: a legacy bare-JSON policy file.
+            None => content.as_str(),
+        };
+        Self::from_json(payload).map_err(|e| {
+            invalid(format!("parsing policy file {}: {e}", path.display()))
         })
     }
+}
+
+/// Artifact format tag written in the header line of saved policies.
+const ARTIFACT_FORMAT: &str = "dosco-policy-v1";
+
+/// The integrity header [`CoordinationPolicy::save`] writes as the first
+/// line of an artifact file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ArtifactHeader {
+    /// Format tag ([`ARTIFACT_FORMAT`]).
+    format: String,
+    /// Byte length of the policy JSON payload after the header newline.
+    payload_len: u64,
+    /// FNV-1a 64 checksum of the payload bytes, as 16 lowercase hex digits.
+    fnv64: String,
+}
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and plenty to detect the
+/// truncation/bit-rot failure modes an artifact store cares about (this
+/// is an integrity check, not a cryptographic signature).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// The fully distributed deployment: one agent per node, each holding its
@@ -370,6 +451,83 @@ mod tests {
             err.to_string().contains("dosco-policy-test-no-such-dir"),
             "write error must name the file: {err}"
         );
+    }
+
+    #[test]
+    fn load_detects_truncated_artifact_naming_expected_vs_actual() {
+        let p = policy(3);
+        let dir = std::env::temp_dir().join("dosco-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        p.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        let cut = full.len() - 40;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let err = CoordinationPolicy::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("truncated"), "must say truncated: {msg}");
+        assert!(msg.contains("truncated.json"), "must name the path: {msg}");
+        let expected_len = full.split_once('\n').unwrap().1.len();
+        assert!(
+            msg.contains(&expected_len.to_string())
+                && msg.contains(&(expected_len - 40).to_string()),
+            "must report expected vs actual length: {msg}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_detects_corrupt_artifact_naming_checksums() {
+        let p = policy(3);
+        let dir = std::env::temp_dir().join("dosco-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        p.save(&path).unwrap();
+        // Flip one payload digit (same length, different bytes).
+        let full = std::fs::read_to_string(&path).unwrap();
+        let (header, payload) = full.split_once('\n').unwrap();
+        let flip = payload
+            .char_indices()
+            .find(|&(_, c)| c.is_ascii_digit())
+            .map(|(i, c)| (i, if c == '9' { '8' } else { '9' }))
+            .expect("weights contain digits");
+        let mut mutated: Vec<char> = payload.chars().collect();
+        mutated[flip.0] = flip.1;
+        let mutated: String = mutated.into_iter().collect();
+        std::fs::write(&path, format!("{header}\n{mutated}")).unwrap();
+        let err = CoordinationPolicy::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("corrupt"), "must say corrupt: {msg}");
+        assert!(msg.contains("corrupt.json"), "must name the path: {msg}");
+        assert!(
+            msg.contains(&format!("{:016x}", fnv1a64(payload.as_bytes()))),
+            "must report the expected checksum: {msg}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Pre-header artifacts (bare policy JSON) still load.
+    #[test]
+    fn load_accepts_legacy_bare_json_artifacts() {
+        let p = policy(3);
+        let dir = std::env::temp_dir().join("dosco-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, p.to_json().unwrap()).unwrap();
+        let q = CoordinationPolicy::load(&path).unwrap();
+        assert_eq!(p.degree(), q.degree());
+        assert_eq!(p.act(&[0.25f32; 16]), q.act(&[0.25f32; 16]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     /// Per-node streams are independent: a node's decision sequence is

@@ -1,0 +1,378 @@
+//! The dependency-free ops HTTP server.
+//!
+//! A plain `std::net::TcpListener` with one acceptor thread and a small
+//! bounded pool of worker threads — no async runtime, no external HTTP
+//! crate. It speaks just enough HTTP/1.1 for an ops surface: `GET` with
+//! `Content-Length`-framed JSON responses and `Connection: close` (one
+//! request per connection). Four routes:
+//!
+//! | Route           | Body                                              |
+//! |-----------------|---------------------------------------------------|
+//! | `GET /healthz`  | liveness + service name                           |
+//! | `GET /metrics`  | the full `dosco_obs` registry, deterministic JSON |
+//! | `GET /snapshot` | published policy version + registry head          |
+//! | `GET /shards`   | the fabric's live [`FabricStatus`] snapshot       |
+//!
+//! [`FabricStatus`]: dosco_serve::FabricStatus
+//!
+//! Configuration follows the workspace env contract
+//! ([`dosco_obs::env`]): `DOSCO_CTL_ADDR` (a socket address; defaults to
+//! an ephemeral loopback port) and `DOSCO_CTL_THREADS` (worker count).
+
+use crate::state::CtlState;
+use crossbeam::channel::{self, Receiver};
+use dosco_obs::env::{parse_lookup, EnvParseError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request head (request line + headers) the server accepts.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Per-connection socket timeout: an ops surface never waits on a slow
+/// client while holding a worker.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Ops server configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtlConfig {
+    /// Bind address. The default `127.0.0.1:0` binds an ephemeral
+    /// loopback port (read it back from [`CtlServer::addr`]).
+    pub addr: String,
+    /// Worker threads answering requests (the acceptor is separate).
+    pub threads: usize,
+}
+
+impl Default for CtlConfig {
+    fn default() -> Self {
+        CtlConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+        }
+    }
+}
+
+impl CtlConfig {
+    /// Applies `DOSCO_CTL_ADDR` / `DOSCO_CTL_THREADS` overrides through
+    /// an injectable lookup (tests pass a closure; [`CtlConfig::from_env`]
+    /// passes the process environment). Unset or blank variables keep the
+    /// defaults; malformed values are hard errors naming the variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvParseError`] for a value that does not parse as a
+    /// socket address / thread count in `1..=64`.
+    pub fn from_lookup(get: &dyn Fn(&str) -> Option<String>) -> Result<Self, EnvParseError> {
+        let mut cfg = CtlConfig::default();
+        if let Some(addr) = parse_lookup::<SocketAddr>(
+            get,
+            "DOSCO_CTL_ADDR",
+            "a socket address like 127.0.0.1:8080",
+            |_| true,
+        )? {
+            cfg.addr = addr.to_string();
+        }
+        if let Some(threads) = parse_lookup::<usize>(
+            get,
+            "DOSCO_CTL_THREADS",
+            "a worker thread count in 1..=64",
+            |&t| (1..=64).contains(&t),
+        )? {
+            cfg.threads = threads;
+        }
+        Ok(cfg)
+    }
+
+    /// [`CtlConfig::from_lookup`] over the process environment.
+    ///
+    /// # Errors
+    ///
+    /// See [`CtlConfig::from_lookup`].
+    pub fn from_env() -> Result<Self, EnvParseError> {
+        Self::from_lookup(&|v| std::env::var(v).ok())
+    }
+}
+
+/// A running ops server. Dropping it does *not* stop the threads — call
+/// [`CtlServer::shutdown`] for a clean stop (test suites and examples
+/// should always do so, or the process lingers on join at exit).
+#[derive(Debug)]
+pub struct CtlServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CtlServer {
+    /// Binds `cfg.addr` and starts the acceptor plus `cfg.threads`
+    /// workers, all answering from `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, naming the requested address.
+    pub fn start(cfg: &CtlConfig, state: Arc<CtlState>) -> io::Result<CtlServer> {
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| {
+            io::Error::new(e.kind(), format!("binding ctl server to {}: {e}", cfg.addr))
+        })?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        // Bounded hand-off: a burst beyond the workers' capacity
+        // backpressures the acceptor instead of queueing unboundedly.
+        let (tx, rx) = channel::bounded::<TcpStream>(cfg.threads * 8);
+        // The vendored channel has a single-consumer receiver; the pool
+        // shares it behind a mutex (held only for the dequeue, never
+        // while a request is being answered).
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+
+        let workers = (0..cfg.threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("dosco-ctl-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state))
+                    .expect("spawning ctl worker thread")
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("dosco-ctl-accept".to_string())
+            .spawn(move || {
+                // `tx` lives here: when the acceptor exits, the channel
+                // disconnects and every worker drains out.
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawning ctl acceptor thread");
+
+        Ok(CtlServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The actually bound address (resolves the `:0` ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread. A
+    /// request already handed to a worker still completes.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking `accept` with one throwaway
+        // connection; it observes `stop` and exits, disconnecting the
+        // worker channel.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Worker body: answer connections until the acceptor disconnects.
+fn worker_loop(rx: &std::sync::Mutex<Receiver<TcpStream>>, state: &CtlState) {
+    loop {
+        let next = rx.lock().expect("ctl worker queue poisoned").recv();
+        match next {
+            Ok(stream) => handle_connection(stream, state),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reads one request head, routes it, writes one framed response.
+fn handle_connection(mut stream: TcpStream, state: &CtlState) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let Some(head) = read_request_head(&mut stream) else {
+        respond(&mut stream, 400, "Bad Request", r#"{"error":"bad request"}"#);
+        return;
+    };
+    let mut parts = head
+        .lines()
+        .next()
+        .unwrap_or("")
+        .split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        respond(&mut stream, 400, "Bad Request", r#"{"error":"bad request"}"#);
+        return;
+    };
+    if method != "GET" {
+        respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            &format!(r#"{{"error":"method not allowed","method":{}}}"#, json_str(method)),
+        );
+        return;
+    }
+    // The ops routes take no query parameters; tolerate and strip them.
+    let path = target.split('?').next().unwrap_or(target);
+    match route(state, path) {
+        Some(body) => respond(&mut stream, 200, "OK", &body),
+        None => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            &format!(r#"{{"error":"not found","path":{}}}"#, json_str(path)),
+        ),
+    }
+}
+
+/// The route table: `Some(body)` for known paths.
+fn route(state: &CtlState, path: &str) -> Option<String> {
+    match path {
+        "/healthz" => Some(to_json(&state.healthz())),
+        "/metrics" => Some(dosco_obs::report_json()),
+        "/snapshot" => Some(to_json(&state.snapshot_response())),
+        "/shards" => Some(to_json(&state.shards_response())),
+        _ => None,
+    }
+}
+
+fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("in-memory serialization cannot fail")
+}
+
+/// Minimal JSON string quoting for the error bodies (paths and methods
+/// are ASCII in practice; control characters are escaped defensively).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Reads until the blank line ending the request head. Returns `None`
+/// on I/O errors, timeouts, or oversized requests.
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut data = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => {
+                data.extend_from_slice(&buf[..n]);
+                if data.len() > MAX_REQUEST_BYTES {
+                    return None;
+                }
+                if data.windows(4).any(|w| w == b"\r\n\r\n") {
+                    return String::from_utf8(data).ok();
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Writes one complete `Content-Length`-framed JSON response.
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let allow = if status == 405 { "Allow: GET\r\n" } else { "" };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         {allow}Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |var| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == var)
+                .map(|(_, v)| (*v).to_string())
+        }
+    }
+
+    #[test]
+    fn config_defaults_when_env_unset() {
+        let cfg = CtlConfig::from_lookup(&env_of(&[])).unwrap();
+        assert_eq!(cfg, CtlConfig::default());
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.threads, 2);
+    }
+
+    #[test]
+    fn config_applies_valid_overrides() {
+        let get = env_of(&[
+            ("DOSCO_CTL_ADDR", " 0.0.0.0:9090 "),
+            ("DOSCO_CTL_THREADS", "8"),
+        ]);
+        let cfg = CtlConfig::from_lookup(&get).unwrap();
+        assert_eq!(cfg.addr, "0.0.0.0:9090");
+        assert_eq!(cfg.threads, 8);
+    }
+
+    #[test]
+    fn config_rejects_malformed_addr_naming_the_variable() {
+        let get = env_of(&[("DOSCO_CTL_ADDR", "not-an-addr")]);
+        let err = CtlConfig::from_lookup(&get).unwrap_err();
+        assert_eq!(err.var, "DOSCO_CTL_ADDR");
+        assert_eq!(err.value, "not-an-addr");
+        assert!(err.to_string().contains("socket address"), "{err}");
+    }
+
+    #[test]
+    fn config_rejects_out_of_range_threads() {
+        for bad in ["0", "65", "minus"] {
+            let pairs = [("DOSCO_CTL_THREADS", bad)];
+            let err = CtlConfig::from_lookup(&env_of(&pairs)).unwrap_err();
+            assert_eq!(err.var, "DOSCO_CTL_THREADS", "{bad}");
+        }
+    }
+
+    #[test]
+    fn json_str_escapes_quotes_and_controls() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn start_and_shutdown_cleanly() {
+        let server = CtlServer::start(&CtlConfig::default(), Arc::new(CtlState::new())).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0, "ephemeral port resolved");
+        server.shutdown();
+        // After shutdown the listener is gone; a fresh server can bind a
+        // fresh ephemeral port immediately.
+        let again = CtlServer::start(&CtlConfig::default(), Arc::new(CtlState::new())).unwrap();
+        again.shutdown();
+    }
+}

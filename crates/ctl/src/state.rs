@@ -1,0 +1,184 @@
+//! Shared state behind the ops endpoints: optional attachments to the
+//! training plane (a [`PolicySlot`]), the serving plane (a
+//! [`StatusBoard`]), and the artifact store (a [`PolicyRegistry`]).
+//!
+//! Every attachment is optional so the server can come up first and have
+//! planes attached as they start; detached endpoints answer honestly
+//! (`attached: false` / `null` fields) instead of erroring.
+
+use crate::registry::{ArtifactMeta, PolicyRegistry};
+use dosco_runtime::PolicySlot;
+use dosco_serve::{FabricStatus, StatusBoard};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// The `GET /healthz` response body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `true` when the server answers at all.
+    pub ok: bool,
+    /// Service identifier.
+    pub service: String,
+}
+
+/// The published policy slot, as `GET /snapshot` reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotView {
+    /// Version of the currently published snapshot.
+    pub version: u64,
+    /// Parameter count of the snapshot's actor network.
+    pub actor_params: usize,
+    /// Parameter count of the snapshot's critic network.
+    pub critic_params: usize,
+    /// Whether the training runtime is shutting down.
+    pub closed: bool,
+}
+
+/// The `GET /snapshot` response body: the live policy slot and the
+/// registry's promoted head, each `null` while detached.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotResponse {
+    /// The attached [`PolicySlot`]'s current state.
+    pub slot: Option<SlotView>,
+    /// The attached registry's promoted head entry.
+    pub registry_head: Option<ArtifactMeta>,
+}
+
+/// The `GET /shards` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardsResponse {
+    /// Whether a fabric's status board is attached.
+    pub attached: bool,
+    /// The board's latest snapshot (all-default while detached).
+    pub status: FabricStatus,
+}
+
+/// Everything the ops endpoints read. Attachments can be installed at
+/// any time from any thread; the HTTP workers read them per request.
+#[derive(Debug, Default)]
+pub struct CtlState {
+    slot: Mutex<Option<Arc<PolicySlot>>>,
+    board: Mutex<Option<Arc<StatusBoard>>>,
+    registry: Mutex<Option<Arc<Mutex<PolicyRegistry>>>>,
+}
+
+impl CtlState {
+    /// Creates a state with nothing attached.
+    pub fn new() -> Self {
+        CtlState::default()
+    }
+
+    /// Attaches (or replaces) the training plane's policy slot.
+    pub fn attach_slot(&self, slot: Arc<PolicySlot>) {
+        *self.slot.lock().expect("ctl state poisoned") = Some(slot);
+    }
+
+    /// Attaches (or replaces) the serving fabric's status board.
+    pub fn attach_board(&self, board: Arc<StatusBoard>) {
+        *self.board.lock().expect("ctl state poisoned") = Some(board);
+    }
+
+    /// Attaches (or replaces) the policy registry.
+    pub fn attach_registry(&self, registry: Arc<Mutex<PolicyRegistry>>) {
+        *self.registry.lock().expect("ctl state poisoned") = Some(registry);
+    }
+
+    /// The `GET /healthz` body.
+    pub fn healthz(&self) -> HealthResponse {
+        HealthResponse {
+            ok: true,
+            service: "dosco_ctl".to_string(),
+        }
+    }
+
+    /// The `GET /snapshot` body.
+    pub fn snapshot_response(&self) -> SnapshotResponse {
+        let slot = self
+            .slot
+            .lock()
+            .expect("ctl state poisoned")
+            .as_ref()
+            .map(|s| {
+                let info = s.info();
+                SlotView {
+                    version: info.version,
+                    actor_params: info.actor_params,
+                    critic_params: info.critic_params,
+                    closed: info.closed,
+                }
+            });
+        let registry_head = self
+            .registry
+            .lock()
+            .expect("ctl state poisoned")
+            .as_ref()
+            .and_then(|r| r.lock().expect("registry poisoned").head().cloned());
+        SnapshotResponse {
+            slot,
+            registry_head,
+        }
+    }
+
+    /// The `GET /shards` body.
+    pub fn shards_response(&self) -> ShardsResponse {
+        match self.board.lock().expect("ctl state poisoned").as_ref() {
+            Some(board) => ShardsResponse {
+                attached: true,
+                status: board.snapshot(),
+            },
+            None => ShardsResponse {
+                attached: false,
+                status: FabricStatus::default(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosco_runtime::PolicySnapshot;
+    use dosco_nn::mlp::{Activation, Mlp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn detached_state_answers_honestly() {
+        let state = CtlState::new();
+        assert!(state.healthz().ok);
+        let snap = state.snapshot_response();
+        assert_eq!(snap.slot, None);
+        assert_eq!(snap.registry_head, None);
+        let shards = state.shards_response();
+        assert!(!shards.attached);
+        assert_eq!(shards.status, FabricStatus::default());
+    }
+
+    #[test]
+    fn attached_slot_is_reflected_live() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let slot = Arc::new(PolicySlot::new(PolicySnapshot {
+            version: 5,
+            actor: Mlp::new(&[2, 3, 2], Activation::Tanh, &mut rng),
+            critic: Mlp::new(&[2, 3, 1], Activation::Tanh, &mut rng),
+        }));
+        let state = CtlState::new();
+        state.attach_slot(Arc::clone(&slot));
+        let view = state.snapshot_response().slot.unwrap();
+        assert_eq!(view.version, 5);
+        assert_eq!(view.actor_params, 17);
+        assert!(!view.closed);
+        slot.close();
+        assert!(state.snapshot_response().slot.unwrap().closed);
+    }
+
+    #[test]
+    fn responses_serialize_deterministically() {
+        let state = CtlState::new();
+        let a = serde_json::to_string(&state.snapshot_response()).unwrap();
+        let b = serde_json::to_string(&state.snapshot_response()).unwrap();
+        assert_eq!(a, b);
+        let back: SnapshotResponse = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, state.snapshot_response());
+    }
+}

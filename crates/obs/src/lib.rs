@@ -42,12 +42,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod env;
 pub mod event;
 pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod span;
 
+pub use env::EnvParseError;
 pub use event::{Event, Stream, StreamKind, SCHEMA_VERSION};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder};
 pub use registry::{CounterKind, GaugeKind, HistKind, SpanKind};
@@ -185,6 +187,14 @@ pub fn span(kind: SpanKind) -> SpanTimer {
 /// Snapshots the metrics registry as a serializable [`ObsReport`].
 pub fn report() -> ObsReport {
     ObsReport::capture()
+}
+
+/// Snapshots the metrics registry as deterministic JSON: identical
+/// registry state always serializes to byte-identical output (fixed
+/// field order, fixed counter/gauge/histogram/span enumeration order).
+/// This is the payload the `dosco_ctl` `GET /metrics` endpoint serves.
+pub fn report_json() -> String {
+    ObsReport::capture().to_json()
 }
 
 /// Zeroes the metrics registry (counters, gauges, histograms, spans).

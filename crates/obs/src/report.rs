@@ -136,6 +136,14 @@ impl ObsReport {
         }
     }
 
+    /// Serializes the report to compact JSON. Deterministic by
+    /// construction: struct fields serialize in declaration order and
+    /// every collection is built from the fixed `ALL` enumeration of its
+    /// kind, so identical registry state yields byte-identical output.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("in-memory serialization cannot fail")
+    }
+
     /// The span stat named `name`, if known.
     pub fn span(&self, name: &str) -> Option<&SpanStat> {
         self.spans.iter().find(|s| s.name == name)
@@ -175,6 +183,32 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: ObsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+        reset();
+    }
+
+    /// The ops-surface contract: identical registry state serializes to
+    /// byte-identical JSON, run after run. The state is rebuilt from
+    /// scratch between captures (reset + identical updates), so the test
+    /// pins ordering determinism, not object identity.
+    #[test]
+    fn registry_json_export_is_byte_identical_across_runs() {
+        let _guard = REGISTRY_TEST_LOCK.lock();
+        let build_state = || {
+            reset();
+            count(CounterKind::ServeDecisions, 17);
+            count(CounterKind::ServeSwaps, 3);
+            crate::registry::set_gauge(crate::registry::GaugeKind::LastSuccessRatio, 0.875);
+            observe(HistKind::ServeBatchSize, 4.0);
+            observe(HistKind::Staleness, 2.0);
+            record_span_ns(SpanKind::ServeBatchForward, 2_000_000);
+            ObsReport::capture().to_json()
+        };
+        let a = build_state();
+        let b = build_state();
+        assert_eq!(a, b, "identical registry state must serialize identically");
+        // And the export is valid JSON that round-trips.
+        let back: ObsReport = serde_json::from_str(&a).unwrap();
+        assert_eq!(back.to_json(), a);
         reset();
     }
 

@@ -47,4 +47,4 @@ pub use config::{Mode, RuntimeConfig};
 pub use counters::RuntimeReport;
 pub use driver::{train, RuntimeOutcome};
 pub use learner::{CollectParams, Learner};
-pub use snapshot::{PolicySlot, PolicySnapshot};
+pub use snapshot::{PolicySlot, PolicySnapshot, SlotInfo};

@@ -64,6 +64,20 @@ impl PolicySlot {
         self.version.load(Ordering::Acquire)
     }
 
+    /// Introspects the slot for operational surfaces (the `dosco_ctl`
+    /// `GET /snapshot` endpoint): the published version, parameter counts
+    /// of the snapshot's networks, and whether the runtime is shutting
+    /// down — without cloning the networks themselves.
+    pub fn info(&self) -> SlotInfo {
+        let snap = self.latest();
+        SlotInfo {
+            version: snap.version,
+            actor_params: snap.actor.num_params(),
+            critic_params: snap.critic.num_params(),
+            closed: self.is_closed(),
+        }
+    }
+
     /// Marks the runtime as shutting down; actors exit at their next batch
     /// boundary.
     pub fn close(&self) {
@@ -74,6 +88,20 @@ impl PolicySlot {
     pub fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
     }
+}
+
+/// A cheap description of the slot's current snapshot
+/// ([`PolicySlot::info`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// Version of the currently published snapshot.
+    pub version: u64,
+    /// Parameter count of the snapshot's actor network.
+    pub actor_params: usize,
+    /// Parameter count of the snapshot's critic network.
+    pub critic_params: usize,
+    /// Whether [`PolicySlot::close`] was called.
+    pub closed: bool,
 }
 
 #[cfg(test)]
@@ -104,6 +132,22 @@ mod tests {
         // The older snapshot stays valid for in-flight collections.
         assert_eq!(first.version, 0);
         assert_ne!(first.actor, second.actor);
+    }
+
+    #[test]
+    fn info_tracks_version_params_and_closed() {
+        let slot = PolicySlot::new(snap(0, 1));
+        let info = slot.info();
+        assert_eq!(info.version, 0);
+        // [2,3,2] actor: 2*3+3 + 3*2+2 = 17; [2,3,1] critic: 9 + 4 = 13.
+        assert_eq!(info.actor_params, 17);
+        assert_eq!(info.critic_params, 13);
+        assert!(!info.closed);
+        slot.publish(Arc::new(snap(4, 2)));
+        slot.close();
+        let info = slot.info();
+        assert_eq!(info.version, 4);
+        assert!(info.closed);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Control-plane directives for the serving fabric: targeted policy
+//! publishes applied at epoch boundaries.
+//!
+//! The [`PolicySlot`](dosco_runtime::PolicySlot) hub broadcasts to
+//! *every* shard — the right semantics for following a live learner, but
+//! too coarse for operational workflows: a canary wants a candidate on a
+//! *subset* of shards while the rest keep serving the incumbent, and a
+//! rollback wants the incumbent republished to exactly the shards that
+//! diverged. A [`ControlQueue`] carries those directives. The frontend
+//! drains it at every epoch boundary (after the hub poll, so explicit
+//! directives win over the broadcast within a boundary) and delivers the
+//! swaps with the same epoch-pinned mechanism as a hub publish — one
+//! code path, identical determinism guarantees.
+
+use dosco_runtime::PolicySnapshot;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which shards a [`PublishCmd`] applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishScope {
+    /// Every shard; also updates the fabric's notion of the "current"
+    /// policy, which respawned shards and future global publishes follow.
+    All,
+    /// Only the listed shard indices (out-of-range indices are ignored);
+    /// the rest keep their current policy.
+    Shards(Vec<usize>),
+}
+
+/// One control directive: publish `snapshot` to `scope` at the next
+/// epoch boundary.
+#[derive(Debug, Clone)]
+pub struct PublishCmd {
+    /// The snapshot to deploy (validated against the observation
+    /// contract by the frontend, exactly like a hub publish).
+    pub snapshot: Arc<PolicySnapshot>,
+    /// The shards it lands on.
+    pub scope: PublishScope,
+}
+
+/// A FIFO queue of control directives, drained by the fabric at every
+/// epoch boundary. Senders (a canary driver, an ops endpoint) push from
+/// any thread; commands are applied in push order at the next boundary,
+/// so two commands pushed between boundaries land at the *same* epoch in
+/// their push order.
+#[derive(Debug, Default)]
+pub struct ControlQueue {
+    cmds: Mutex<VecDeque<PublishCmd>>,
+    /// Commands ever pushed (cheap emptiness probe for the fabric: one
+    /// relaxed load on the boundary path instead of a mutex lock).
+    pushed: AtomicU64,
+    /// Commands ever drained.
+    drained: AtomicU64,
+}
+
+impl ControlQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ControlQueue::default()
+    }
+
+    /// Enqueues a directive for the next epoch boundary.
+    pub fn push(&self, cmd: PublishCmd) {
+        self.cmds.lock().expect("control queue poisoned").push_back(cmd);
+        self.pushed.fetch_add(1, Ordering::Release);
+    }
+
+    /// Whether any command is waiting. One relaxed load — safe to call
+    /// on the fabric's boundary path every epoch.
+    pub fn is_pending(&self) -> bool {
+        self.pushed.load(Ordering::Acquire) > self.drained.load(Ordering::Relaxed)
+    }
+
+    /// Removes and returns every queued directive, in push order.
+    pub(crate) fn drain(&self) -> Vec<PublishCmd> {
+        let mut q = self.cmds.lock().expect("control queue poisoned");
+        let cmds: Vec<PublishCmd> = q.drain(..).collect();
+        self.drained.fetch_add(cmds.len() as u64, Ordering::Relaxed);
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosco_nn::mlp::{Activation, Mlp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn snap(version: u64) -> Arc<PolicySnapshot> {
+        let mut rng = StdRng::seed_from_u64(version);
+        Arc::new(PolicySnapshot {
+            version,
+            actor: Mlp::new(&[2, 2], Activation::Tanh, &mut rng),
+            critic: Mlp::new(&[2, 1], Activation::Tanh, &mut rng),
+        })
+    }
+
+    #[test]
+    fn drains_in_push_order() {
+        let q = ControlQueue::new();
+        assert!(!q.is_pending());
+        q.push(PublishCmd { snapshot: snap(1), scope: PublishScope::All });
+        q.push(PublishCmd { snapshot: snap(2), scope: PublishScope::Shards(vec![0]) });
+        assert!(q.is_pending());
+        let cmds = q.drain();
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].snapshot.version, 1);
+        assert_eq!(cmds[0].scope, PublishScope::All);
+        assert_eq!(cmds[1].snapshot.version, 2);
+        assert!(!q.is_pending());
+        assert!(q.drain().is_empty());
+    }
+}

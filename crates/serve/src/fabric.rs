@@ -23,10 +23,12 @@
 //! request id, and per-node RNG streams live with the owning shard —
 //! so shard count cannot change any decision.
 
+use crate::control::{ControlQueue, PublishScope};
 use crate::fault::{FaultKind, FaultScript};
 use crate::shard::{
     run_shard, shard_of, DecisionRequest, DecisionResponse, ShardMsg, ShardWorker,
 };
+use crate::status::{FabricStatus, ShardStatus, StatusBoard};
 use crossbeam::channel::{self, Sender};
 use crossbeam::thread::{Scope, ScopedJoinHandle};
 use dosco_core::policy::PolicyMetadata;
@@ -40,7 +42,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the serving fabric.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker shards the nodes are partitioned across (clamped to the
     /// node count).
@@ -53,7 +55,37 @@ pub struct ServeConfig {
     pub stochastic_seed: Option<u64>,
     /// Epoch-scripted fault injection.
     pub faults: FaultScript,
+    /// Control-plane directive queue, drained at every epoch boundary
+    /// (subset-targeted publishes for canary/rollback). `None` (the
+    /// default) costs one `Option` check per epoch.
+    pub control: Option<Arc<ControlQueue>>,
+    /// Live status board the frontend publishes a [`FabricStatus`] to at
+    /// every epoch boundary. `None` (the default) costs one `Option`
+    /// check per epoch.
+    pub status: Option<Arc<StatusBoard>>,
 }
+
+/// Attachments compare by identity: two configs are equal when they
+/// point at the *same* queue/board (or both at none).
+impl PartialEq for ServeConfig {
+    fn eq(&self, other: &Self) -> bool {
+        fn same<T>(a: &Option<Arc<T>>, b: &Option<Arc<T>>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+                _ => false,
+            }
+        }
+        self.num_shards == other.num_shards
+            && self.mailbox_capacity == other.mailbox_capacity
+            && self.stochastic_seed == other.stochastic_seed
+            && self.faults == other.faults
+            && same(&self.control, &other.control)
+            && same(&self.status, &other.status)
+    }
+}
+
+impl Eq for ServeConfig {}
 
 impl ServeConfig {
     /// A greedy, fault-free configuration with `num_shards` shards.
@@ -63,7 +95,23 @@ impl ServeConfig {
             mailbox_capacity: 64,
             stochastic_seed: None,
             faults: FaultScript::new(),
+            control: None,
+            status: None,
         }
+    }
+
+    /// Attaches a control-plane directive queue.
+    #[must_use]
+    pub fn with_control(mut self, control: Arc<ControlQueue>) -> Self {
+        self.control = Some(control);
+        self
+    }
+
+    /// Attaches a live status board.
+    #[must_use]
+    pub fn with_status(mut self, status: Arc<StatusBoard>) -> Self {
+        self.status = Some(status);
+        self
     }
 
     /// Switches to stochastic serving with per-node streams from `seed`.
@@ -112,6 +160,9 @@ pub struct ServeReport {
     pub fallback_decisions: u64,
     /// Policy hot-swaps broadcast (version changes observed on the hub).
     pub swaps: u64,
+    /// Control-queue publishes applied at epoch boundaries (targeted or
+    /// fabric-wide).
+    pub directed_publishes: u64,
     /// Shards shut down by kill windows.
     pub shard_kills: u64,
     /// Shards respawned after kill windows (re-synced to the latest
@@ -123,6 +174,10 @@ pub struct ServeReport {
     pub final_version: u64,
     /// Per-shard policy version at shutdown.
     pub shard_versions: Vec<u64>,
+    /// Batched decisions answered by each shard.
+    pub shard_batched: Vec<u64>,
+    /// Fallback decisions attributed to each (down/delayed) shard.
+    pub shard_fallback: Vec<u64>,
     /// Batched decisions per policy version, ascending by version.
     pub decisions_by_version: Vec<(u64, u64)>,
 }
@@ -302,20 +357,53 @@ pub fn serve_with(
         let mut actions: Vec<Option<Action>> = vec![None; episodes];
         let mut starts: Vec<Option<Instant>> = vec![None; episodes];
         let mut routed = vec![false; num_shards];
+        let mut shard_batched = vec![0u64; num_shards];
+        let mut shard_fallback = vec![0u64; num_shards];
+        // The policy each shard *should* run. Hub publishes and All-scope
+        // directives set every entry; targeted directives set a subset —
+        // respawns and lag re-syncs always converge a shard onto its own
+        // entry, so a killed canary shard comes back as a canary.
+        let mut desired: Vec<(Arc<CoordinationPolicy>, u64)> =
+            vec![(Arc::clone(&current), current_version); num_shards];
         let mut next_id: u64 = 0;
         let mut epoch: u64 = 0;
 
         loop {
             on_epoch(epoch);
 
-            // -- Epoch-boundary work: hot-swap poll + fault transitions.
+            // -- Epoch-boundary work: hot-swap poll, control directives,
+            // fault transitions.
             if let Some(h) = hub {
                 if h.version() != current_version {
                     let snap = h.latest();
                     current = Arc::new(policy_from_snapshot(&snap, degree));
                     current_version = snap.version;
+                    desired.fill((Arc::clone(&current), current_version));
                     report.swaps += 1;
                     registry::count(CounterKind::ServeSwaps, 1);
+                }
+            }
+            if let Some(q) = cfg.control.as_ref() {
+                if q.is_pending() {
+                    for cmd in q.drain() {
+                        let policy = Arc::new(policy_from_snapshot(&cmd.snapshot, degree));
+                        let version = cmd.snapshot.version;
+                        match &cmd.scope {
+                            PublishScope::All => {
+                                current = Arc::clone(&policy);
+                                current_version = version;
+                                desired.fill((Arc::clone(&policy), version));
+                            }
+                            PublishScope::Shards(targets) => {
+                                for &t in targets {
+                                    if t < num_shards {
+                                        desired[t] = (Arc::clone(&policy), version);
+                                    }
+                                }
+                            }
+                        }
+                        report.directed_publishes += 1;
+                    }
                 }
             }
             let states: Vec<Option<FaultKind>> =
@@ -330,33 +418,72 @@ pub fn serve_with(
                     join_shard(h);
                     report.shard_kills += 1;
                 } else if states[i].is_none() {
+                    let (want, want_version) = &desired[i];
                     if !h.alive() {
-                        // Window end: respawn, re-synced to the latest
-                        // published version (fresh mailbox, fresh state).
+                        // Window end: respawn, re-synced to the shard's
+                        // desired policy (fresh mailbox, fresh state).
                         *h = spawn_shard(
                             s,
                             i,
                             num_shards,
                             num_nodes,
                             cfg,
-                            Arc::clone(&current),
-                            current_version,
+                            Arc::clone(want),
+                            *want_version,
                             resp_tx.clone(),
                         );
                         report.shard_respawns += 1;
-                    } else if h.version != current_version {
-                        // Reachable shard lagging the hub: deliver the
-                        // swap at this boundary (covers both the global
-                        // broadcast and post-delay re-sync).
+                    } else if h.version != *want_version {
+                        // Reachable shard lagging its desired policy:
+                        // deliver the swap at this boundary (covers the
+                        // global broadcast, targeted publishes, rollback
+                        // republishes, and post-delay re-sync).
                         let tx = h.tx.as_ref().expect("alive shard has a mailbox");
                         tx.send(ShardMsg::Swap {
-                            policy: Arc::clone(&current),
-                            version: current_version,
+                            policy: Arc::clone(want),
+                            version: *want_version,
                         })
                         .expect("shard mailbox open");
-                        h.version = current_version;
+                        h.version = *want_version;
                     }
                 }
+            }
+
+            // -- Status publish: one snapshot per boundary, only when a
+            // board is attached (detached fabrics skip in one branch).
+            if let Some(board) = cfg.status.as_ref() {
+                let mut arrived = 0;
+                let mut completed = 0;
+                let mut dropped = 0;
+                for sim in &sims {
+                    let m = sim.metrics();
+                    arrived += m.arrived;
+                    completed += m.completed;
+                    dropped += m.dropped_total();
+                }
+                board.publish(FabricStatus {
+                    epoch,
+                    live_episodes: live.iter().filter(|&&l| l).count() as u64,
+                    decisions: report.decisions,
+                    swaps: report.swaps,
+                    directed_publishes: report.directed_publishes,
+                    current_version,
+                    shards: shards
+                        .iter()
+                        .enumerate()
+                        .map(|(i, h)| ShardStatus {
+                            shard: i,
+                            alive: h.alive(),
+                            version: h.version,
+                            batched_decisions: shard_batched[i],
+                            fallback_decisions: shard_fallback[i],
+                        })
+                        .collect(),
+                    decisions_by_version: by_version.iter().map(|(&v, &n)| (v, n)).collect(),
+                    flows_arrived: arrived,
+                    flows_completed: completed,
+                    flows_dropped: dropped,
+                });
             }
 
             // -- Collect one pending decision per live episode.
@@ -386,6 +513,7 @@ pub fn serve_with(
                     // silently dropped.
                     actions[e] = Some(dosco_baselines::sp_action(sim, &dp));
                     report.fallback_decisions += 1;
+                    shard_fallback[owner] += 1;
                     fell_back += 1;
                     registry::count(CounterKind::ServeFallbacks, 1);
                 } else {
@@ -426,6 +554,7 @@ pub fn serve_with(
                     actions[resp.episode] = Some(Action::from_index(resp.action_index));
                     *by_version.entry(resp.version).or_insert(0) += 1;
                     report.batched_decisions += 1;
+                    shard_batched[resp.shard] += 1;
                     report.max_batch_rows = report.max_batch_rows.max(resp.batch_rows as u64);
                 }
             }
@@ -461,8 +590,31 @@ pub fn serve_with(
         report.epochs = epoch;
         report.final_version = current_version;
         report.shard_versions = shards.iter().map(|h| h.version).collect();
+        report.shard_batched = shard_batched;
+        report.shard_fallback = shard_fallback;
         report.decisions_by_version = by_version.into_iter().collect();
         let metrics: Vec<Metrics> = sims.iter().map(|sim| sim.metrics().clone()).collect();
+
+        // Final status so post-run snapshots show the completed totals.
+        if let Some(board) = cfg.status.as_ref() {
+            let mut status = board.snapshot();
+            status.epoch = report.epochs;
+            status.live_episodes = 0;
+            status.decisions = report.decisions;
+            status.swaps = report.swaps;
+            status.directed_publishes = report.directed_publishes;
+            status.current_version = report.final_version;
+            for (i, st) in status.shards.iter_mut().enumerate() {
+                st.batched_decisions = report.shard_batched[i];
+                st.fallback_decisions = report.shard_fallback[i];
+                st.version = report.shard_versions[i];
+            }
+            status.decisions_by_version = report.decisions_by_version.clone();
+            status.flows_arrived = metrics.iter().map(|m| m.arrived).sum();
+            status.flows_completed = metrics.iter().map(|m| m.completed).sum();
+            status.flows_dropped = metrics.iter().map(|m| m.dropped_total()).sum();
+            board.publish(status);
+        }
         (metrics, report)
     })
     .expect("serve scope");

@@ -39,10 +39,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod control;
 pub mod fabric;
 pub mod fault;
 pub mod shard;
+pub mod status;
 
+pub use control::{ControlQueue, PublishCmd, PublishScope};
 pub use fabric::{serve, serve_with, ServeConfig, ServeOutcome, ServeReport};
 pub use fault::{FaultKind, FaultScript, FaultWindow};
 pub use shard::{shard_of, DecisionRequest, DecisionResponse, ShardMsg};
+pub use status::{FabricStatus, ShardStatus, StatusBoard};

@@ -75,6 +75,9 @@ pub enum ShardMsg {
 pub struct DecisionResponse {
     /// The request id being answered.
     pub id: u64,
+    /// The shard that answered (for per-shard accounting on the status
+    /// board).
+    pub shard: usize,
     /// Episode the decision belongs to (copied from the request).
     pub episode: usize,
     /// Chosen action as a flat index (`Action::from_index`).
@@ -178,6 +181,7 @@ fn flush(w: &ShardWorker, pending: &mut Vec<DecisionRequest>, rngs: &mut [Option
         .enumerate()
         .map(|(row, req)| DecisionResponse {
             id: req.id,
+            shard: w.index,
             episode: req.episode,
             action_index: actions[row],
             version: w.version,

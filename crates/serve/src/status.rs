@@ -1,0 +1,151 @@
+//! Live fabric status for operational surfaces.
+//!
+//! A [`StatusBoard`] is an optional attachment on
+//! [`ServeConfig`](crate::ServeConfig): when present, the frontend
+//! publishes a [`FabricStatus`] snapshot at every epoch boundary (and
+//! once more at shutdown), covering per-shard liveness/version/decision
+//! counts, running per-version decision accounting, and aggregate
+//! episode metrics. The `dosco_ctl` `GET /shards` endpoint serves it,
+//! and the canary driver reads window deltas from it.
+//!
+//! Cost model: updates happen on the frontend thread only, once per
+//! epoch (never per decision), and only when a board is attached — a
+//! detached fabric pays exactly one `Option` check per epoch.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// One shard as of the last published epoch boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Whether the shard worker is up (false inside a kill window).
+    pub alive: bool,
+    /// Policy version last delivered to this shard.
+    pub version: u64,
+    /// Cumulative decisions this shard answered from batched forwards.
+    pub batched_decisions: u64,
+    /// Cumulative decisions answered by the SP fallback because this
+    /// shard (their owner) was down or delayed.
+    pub fallback_decisions: u64,
+}
+
+/// A whole-fabric snapshot published at an epoch boundary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FabricStatus {
+    /// The epoch this snapshot was taken at (boundary work for this
+    /// epoch — swaps, faults — is already applied; the epoch's decisions
+    /// are not yet counted).
+    pub epoch: u64,
+    /// Episodes still running.
+    pub live_episodes: u64,
+    /// Total decisions applied so far (batched + fallback).
+    pub decisions: u64,
+    /// Policy hot-swaps broadcast so far (hub-driven).
+    pub swaps: u64,
+    /// Targeted control-queue publishes applied so far.
+    pub directed_publishes: u64,
+    /// The fabric-wide current policy version (what respawns re-sync to).
+    pub current_version: u64,
+    /// Per-shard state, indexed by shard.
+    pub shards: Vec<ShardStatus>,
+    /// Batched decisions per policy version so far, ascending by version.
+    pub decisions_by_version: Vec<(u64, u64)>,
+    /// Flows arrived across all episodes so far.
+    pub flows_arrived: u64,
+    /// Flows completed successfully across all episodes so far.
+    pub flows_completed: u64,
+    /// Flows dropped across all episodes so far.
+    pub flows_dropped: u64,
+}
+
+impl FabricStatus {
+    /// The paper's success objective over every terminated flow so far,
+    /// or `None` while no flow has terminated.
+    pub fn success_ratio(&self) -> Option<f64> {
+        let terminated = self.flows_completed + self.flows_dropped;
+        (terminated > 0).then(|| self.flows_completed as f64 / terminated as f64)
+    }
+
+    /// Cumulative batched decisions attributed to `version`.
+    pub fn decisions_at_version(&self, version: u64) -> u64 {
+        self.decisions_by_version
+            .iter()
+            .find(|&&(v, _)| v == version)
+            .map_or(0, |&(_, n)| n)
+    }
+}
+
+/// Shared slot the fabric publishes [`FabricStatus`] snapshots into.
+#[derive(Debug, Default)]
+pub struct StatusBoard {
+    inner: Mutex<FabricStatus>,
+}
+
+impl StatusBoard {
+    /// Creates an empty board (all zeroes until the fabric's first
+    /// boundary update).
+    pub fn new() -> Self {
+        StatusBoard::default()
+    }
+
+    /// The most recently published snapshot.
+    pub fn snapshot(&self) -> FabricStatus {
+        self.inner.lock().expect("status board poisoned").clone()
+    }
+
+    /// Replaces the published snapshot (fabric-side).
+    pub(crate) fn publish(&self, status: FabricStatus) {
+        *self.inner.lock().expect("status board poisoned") = status;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_round_trips_snapshots() {
+        let board = StatusBoard::new();
+        assert_eq!(board.snapshot(), FabricStatus::default());
+        let status = FabricStatus {
+            epoch: 7,
+            decisions: 40,
+            shards: vec![ShardStatus {
+                shard: 0,
+                alive: true,
+                version: 2,
+                batched_decisions: 30,
+                fallback_decisions: 10,
+            }],
+            decisions_by_version: vec![(1, 10), (2, 20)],
+            flows_completed: 3,
+            flows_dropped: 1,
+            ..FabricStatus::default()
+        };
+        board.publish(status.clone());
+        assert_eq!(board.snapshot(), status);
+        assert_eq!(status.success_ratio(), Some(0.75));
+        assert_eq!(status.decisions_at_version(2), 20);
+        assert_eq!(status.decisions_at_version(9), 0);
+    }
+
+    #[test]
+    fn success_ratio_is_none_while_vacuous() {
+        assert_eq!(FabricStatus::default().success_ratio(), None);
+    }
+
+    #[test]
+    fn status_serializes_and_round_trips() {
+        let status = FabricStatus {
+            epoch: 3,
+            shards: vec![ShardStatus::default()],
+            decisions_by_version: vec![(0, 5)],
+            ..FabricStatus::default()
+        };
+        let json = serde_json::to_string(&status).unwrap();
+        let back: FabricStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, status);
+    }
+}

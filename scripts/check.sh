@@ -19,6 +19,15 @@ cargo test -q -p dosco-obs
 echo "== cargo test (serving fabric) =="
 cargo test -q -p dosco-serve
 
+echo "== cargo test (control plane) =="
+cargo test -q -p dosco-ctl
+
+echo "== ctl canary end-to-end (promote/rollback, exact accounting) =="
+cargo test --release -p dosco-ctl --test canary_e2e
+
+echo "== ctl ops HTTP surface (live queries, deterministic /metrics) =="
+cargo test --release -p dosco-ctl --test ops_http
+
 echo "== serve bit-identity (1 shard == N shards == in-process) =="
 cargo test --release -p dosco-serve --test bit_identity
 
