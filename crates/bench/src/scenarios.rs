@@ -50,6 +50,76 @@ pub fn topology_scenario(mut topology: Topology, horizon: f64) -> ScenarioConfig
     cfg
 }
 
+/// A flow-churn stress scenario for the million-flow simulation core:
+/// **every** node is an ingress emitting a flow each `interval` time
+/// units toward the node two ids over (`(v + 2) mod n`), and the single
+/// service component pins each flow inside the network for `dwell` time
+/// units of processing. Steady-state concurrency is therefore
+/// `≈ n / interval · dwell` live flows, reached after one dwell period.
+///
+/// The scenario is built so nothing ever drops and no capacity math
+/// interferes with the storage/scheduling measurement:
+///
+/// - flows have zero data rate and the component zero resource demand,
+///   so node and link capacity checks always pass,
+/// - the deadline is effectively infinite,
+/// - the component's idle timeout is `2 · interval`, so instances stay
+///   warm under periodic arrivals but still exercise the timeout-probe
+///   push/cancel path whenever traffic at a node goes quiet.
+///
+/// Every flow still runs the full decision loop (process at the ingress,
+/// then shortest-path forwards to the egress), so throughput numbers
+/// measure the event queue, the flow slab, and the coordinator — not
+/// drop shortcuts.
+pub fn churn_scenario(
+    topology: Topology,
+    interval: f64,
+    dwell: f64,
+    horizon: f64,
+) -> ScenarioConfig {
+    use dosco_simnet::service::{Component, Service, ServiceCatalog, ServiceId};
+    use dosco_traffic::FlowProfile;
+
+    let n = topology.num_nodes();
+    assert!(n >= 3, "churn scenario needs at least 3 nodes, got {n}");
+    let component = Component {
+        name: "Churn".to_string(),
+        processing_delay: dwell,
+        resource_per_rate: 0.0,
+        resource_fixed: 0.0,
+        startup_delay: 0.0,
+        idle_timeout: 2.0 * interval,
+    };
+    let catalog = ServiceCatalog::new(
+        vec![component],
+        vec![Service {
+            name: "churn-chain".to_string(),
+            chain: vec![dosco_simnet::service::ComponentId(0)],
+        }],
+    )
+    .expect("single-component churn catalog is valid");
+    let profile = FlowProfile::new(0.0, 1.0, 1e12);
+    let ingresses = (0..n)
+        .map(|v| dosco_simnet::IngressSpec {
+            node: NodeId(v),
+            pattern: ArrivalPattern::Fixed { interval },
+            service: ServiceId(0),
+            egress: NodeId((v + 2) % n),
+            profile,
+        })
+        .collect();
+    let cfg = ScenarioConfig {
+        topology,
+        catalog,
+        ingresses,
+        horizon,
+        hold_delay: 1.0,
+        capacity_seed: 0,
+    };
+    cfg.validate().expect("churn scenario is valid");
+    cfg
+}
+
 /// Parses the four pattern names used on experiment CLIs.
 ///
 /// # Panics
@@ -87,6 +157,26 @@ mod tests {
             assert_eq!(s.ingresses[0].node, NodeId(0));
             assert_eq!(s.ingresses[1].egress, NodeId(7));
         }
+    }
+
+    #[test]
+    fn churn_scenario_reaches_target_concurrency() {
+        use dosco_simnet::Simulation;
+        // 11 nodes / interval 1 × dwell 50 ≈ 550 concurrent at steady
+        // state — the same construction the million-flow report scales up.
+        let cfg = churn_scenario(zoo::abilene(), 1.0, 50.0, 120.0);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.ingresses.len(), 11);
+        let mut sim = Simulation::new(cfg, 1);
+        sim.run(&mut dosco_baselines::ShortestPath::new());
+        let m = sim.metrics();
+        assert_eq!(m.dropped.values().sum::<u64>(), 0, "churn flows never drop");
+        assert!(
+            sim.peak_live_flows() >= 500,
+            "peak live flows {} below the n/interval*dwell estimate",
+            sim.peak_live_flows()
+        );
+        assert!(m.completed > 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::observe::ObservationAdapter;
 use crate::reward::RewardConfig;
 use dosco_rl::env::{Env, StepResult};
-use dosco_simnet::{Action, ScenarioConfig, Simulation};
+use dosco_simnet::{Action, ScenarioConfig, SimEvent, Simulation};
 
 /// The training environment: a simulated episode of the scenario, exposing
 /// flow decisions as RL steps.
@@ -27,6 +27,9 @@ pub struct CoordEnv {
     episode: u64,
     /// Reward accumulated by events since the last step's action.
     diameter: f64,
+    /// Recycled buffer for per-step event drains: one allocation for the
+    /// env's lifetime instead of one per step.
+    events_buf: Vec<SimEvent>,
     /// Re-draw node/link capacities each episode (curriculum over
     /// scenario draws; harder but matches the seeded evaluation protocol).
     resample_capacities: bool,
@@ -64,6 +67,7 @@ impl CoordEnv {
             base_seed,
             episode: 0,
             diameter,
+            events_buf: Vec::new(),
             resample_capacities: true,
         }
     }
@@ -105,7 +109,7 @@ impl CoordEnv {
                 .assign_random_capacities(&mut rng, (0.0, 2.0), (1.0, 5.0));
         }
         self.sim = Simulation::new(scenario, seed);
-        self.sim.drain_events();
+        self.sim.drain_events_into(&mut self.events_buf);
         let dp = self
             .sim
             .next_decision()
@@ -136,8 +140,8 @@ impl Env for CoordEnv {
         self.sim.apply(Action::from_index(action));
         match self.sim.next_decision() {
             Some(dp) => {
-                let events = self.sim.drain_events();
-                let reward = self.reward.batch_reward(&events, self.diameter);
+                self.sim.drain_events_into(&mut self.events_buf);
+                let reward = self.reward.batch_reward(&self.events_buf, self.diameter);
                 StepResult {
                     obs: self.adapter.observe(&self.sim, &dp),
                     reward,
@@ -145,8 +149,8 @@ impl Env for CoordEnv {
                 }
             }
             None => {
-                let events = self.sim.drain_events();
-                let reward = self.reward.batch_reward(&events, self.diameter);
+                self.sim.drain_events_into(&mut self.events_buf);
+                let reward = self.reward.batch_reward(&self.events_buf, self.diameter);
                 StepResult {
                     obs: self.fresh_sim(),
                     reward,

@@ -357,6 +357,7 @@ pub fn serve_with(
         let mut actions: Vec<Option<Action>> = vec![None; episodes];
         let mut starts: Vec<Option<Instant>> = vec![None; episodes];
         let mut routed = vec![false; num_shards];
+        let mut events_scratch = Vec::new();
         let mut shard_batched = vec![0u64; num_shards];
         let mut shard_fallback = vec![0u64; num_shards];
         // The policy each shard *should* run. Hub publishes and All-scope
@@ -497,8 +498,9 @@ pub fn serve_with(
                 }
                 let sim = &mut sims[e];
                 // Coordinator events are dropped, as the in-process
-                // deployment's no-op `observe` does.
-                let _ = sim.drain_events();
+                // deployment's no-op `observe` does. Drained into a
+                // recycled scratch buffer: no per-epoch allocation.
+                sim.drain_events_into(&mut events_scratch);
                 let Some(dp) = sim.next_decision() else {
                     live[e] = false;
                     continue;

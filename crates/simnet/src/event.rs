@@ -1,11 +1,12 @@
-//! The simulator's event queue and the public event stream.
+//! The simulator's public event stream.
+//!
+//! The scheduler behind it — the indexed, cancellable priority queue —
+//! lives in [`crate::queue`].
 
-use crate::flow::FlowId;
+use crate::flow::{FlowId, FlowKey};
 use crate::service::ComponentId;
 use dosco_topology::{LinkId, NodeId};
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Why a flow was dropped (Sec. III / IV-B2).
@@ -155,16 +156,18 @@ impl SimEvent {
     }
 }
 
-/// Internal scheduler events.
+/// Internal scheduler events. Flow-addressed events carry the dense
+/// [`FlowKey`] (slab handle), not the public [`FlowId`], so dispatching
+/// them is a bounds check plus a generation compare — no hashing.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum QueuedEvent {
     /// The `idx`-th ingress spec generates its next flow.
     Arrival { ingress_idx: usize },
     /// A flow's head is at a node and needs a coordination decision.
-    Decision { flow: FlowId },
+    Decision { flow: FlowKey },
     /// A flow finishes processing its current component.
     ProcessingDone {
-        flow: FlowId,
+        flow: FlowKey,
         node: NodeId,
         component: ComponentId,
     },
@@ -181,167 +184,9 @@ pub(crate) enum QueuedEvent {
     InstanceTimeout { node: NodeId, component: ComponentId },
 }
 
-/// A strictly ordered simulation timestamp. Construction validates against
-/// NaN so the event queue's ordering is total.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct SimTime(f64);
-
-impl SimTime {
-    pub(crate) fn new(t: f64) -> Self {
-        assert!(!t.is_nan(), "simulation time must not be NaN");
-        SimTime(t)
-    }
-
-    pub(crate) fn value(self) -> f64 {
-        self.0
-    }
-}
-
-impl Eq for SimTime {}
-
-impl PartialOrd for SimTime {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for SimTime {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is never NaN by construction")
-    }
-}
-
-/// Heap entry: earliest time pops first; FIFO (by insertion sequence) among
-/// equal times for determinism.
-#[derive(Debug)]
-struct Entry {
-    time: SimTime,
-    seq: u64,
-    event: QueuedEvent,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed for min-heap behavior on BinaryHeap (a max-heap).
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Deterministic time-ordered event queue.
-#[derive(Debug, Default)]
-pub(crate) struct EventQueue {
-    heap: BinaryHeap<Entry>,
-    seq: u64,
-}
-
-impl EventQueue {
-    pub(crate) fn new() -> Self {
-        EventQueue::default()
-    }
-
-    /// Schedules `event` at absolute time `time`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `time` is NaN.
-    pub(crate) fn push(&mut self, time: f64, event: QueuedEvent) {
-        let entry = Entry {
-            time: SimTime::new(time),
-            seq: self.seq,
-            event,
-        };
-        self.seq += 1;
-        self.heap.push(entry);
-    }
-
-    /// Pops the earliest event (FIFO among ties).
-    pub(crate) fn pop(&mut self) -> Option<(f64, QueuedEvent)> {
-        self.heap.pop().map(|e| (e.time.value(), e.event))
-    }
-
-    /// The time of the earliest queued event.
-    pub(crate) fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time.value())
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.heap.len()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn marker(i: usize) -> QueuedEvent {
-        QueuedEvent::Arrival { ingress_idx: i }
-    }
-
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(3.0, marker(3));
-        q.push(1.0, marker(1));
-        q.push(2.0, marker(2));
-        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
-        assert_eq!(order, vec![1.0, 2.0, 3.0]);
-    }
-
-    #[test]
-    fn fifo_among_equal_times() {
-        let mut q = EventQueue::new();
-        q.push(5.0, marker(0));
-        q.push(5.0, marker(1));
-        q.push(5.0, marker(2));
-        let order: Vec<usize> = std::iter::from_fn(|| {
-            q.pop().map(|(_, e)| match e {
-                QueuedEvent::Arrival { ingress_idx } => ingress_idx,
-                _ => unreachable!(),
-            })
-        })
-        .collect();
-        assert_eq!(order, vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(2.5, marker(0));
-        q.push(1.5, marker(1));
-        assert_eq!(q.peek_time(), Some(1.5));
-        assert_eq!(q.len(), 2);
-        q.pop();
-        assert_eq!(q.peek_time(), Some(2.5));
-        q.pop();
-        assert_eq!(q.len(), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "NaN")]
-    fn rejects_nan_time() {
-        let mut q = EventQueue::new();
-        q.push(f64::NAN, marker(0));
-    }
 
     #[test]
     fn drop_reason_display() {

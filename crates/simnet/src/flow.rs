@@ -15,6 +15,31 @@ impl fmt::Display for FlowId {
     }
 }
 
+/// Dense generational handle to a live flow's slot in the simulator's
+/// flow slab ([`crate::slab::Slab`]).
+///
+/// [`FlowId`] is the *stable public id* — sequential, serialized into
+/// events and traces, never reused within a run. `FlowKey` is the
+/// *storage handle*: resolving it is a bounds check plus a generation
+/// compare (no hashing), and the slot is recycled once the flow
+/// terminates. Internal scheduler events address flows by key; all
+/// public surfaces keep the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey(pub(crate) crate::slab::SlotKey);
+
+impl FlowKey {
+    /// The underlying slab slot key (diagnostics).
+    pub fn slot(self) -> crate::slab::SlotKey {
+        self.0
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
 /// A live flow: `f = (s_f, c_f, v_f^in, v_f^eg, λ_f, t_f^in, δ_f, τ_f)`
 /// plus its runtime position (current node and progress within the chain).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -50,13 +50,17 @@ pub mod flow;
 pub mod journey;
 pub mod metrics;
 pub mod probe;
+pub mod queue;
 pub mod service;
 pub mod sim;
+pub mod slab;
 
 pub use config::{IngressSpec, ScenarioConfig};
 pub use coordinator::{Action, Coordinator, DecisionPoint};
 pub use event::{DropReason, SimEvent};
-pub use flow::{Flow, FlowId};
-pub use metrics::Metrics;
+pub use flow::{Flow, FlowId, FlowKey};
+pub use metrics::{Metrics, WindowedStats};
+pub use queue::{EventKey, EventQueue};
+pub use slab::{Slab, SlotKey};
 pub use service::{Component, ComponentId, Service, ServiceCatalog, ServiceId};
 pub use sim::Simulation;

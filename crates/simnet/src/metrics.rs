@@ -1,6 +1,8 @@
-//! Aggregate metrics: the objective `o_f` (Eq. 1) and supporting counters.
+//! Aggregate metrics: the objective `o_f` (Eq. 1) and supporting counters,
+//! plus [`WindowedStats`] for constant-memory streaming views of long
+//! (million-flow) episodes.
 
-use crate::event::DropReason;
+use crate::event::{DropReason, SimEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -92,6 +94,121 @@ impl Metrics {
     }
 }
 
+/// Streaming statistics over the most recent `window` flow terminations.
+///
+/// [`Metrics`] aggregates a whole episode; on a million-flow run that
+/// hides drift (a policy degrading mid-episode, a warm-up transient
+/// inflating the mean). `WindowedStats` feeds on the event stream as it
+/// is drained and answers "how is the system doing *right now*" from a
+/// fixed ring buffer: O(1) per event, memory bounded by the window no
+/// matter how long the episode runs.
+#[derive(Debug, Clone)]
+pub struct WindowedStats {
+    window: usize,
+    /// Ring of the last `window` terminations: `(completed, e2e_delay)`
+    /// (delay is 0.0 for drops).
+    ring: Vec<(bool, f64)>,
+    next: usize,
+    /// Rolling totals over the ring, maintained incrementally.
+    completed: usize,
+    delay_sum: f64,
+    /// Lifetime terminations seen (not capped by the window).
+    seen: u64,
+}
+
+impl WindowedStats {
+    /// Creates a tracker over the last `window` terminations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        WindowedStats {
+            window,
+            ring: Vec::with_capacity(window),
+            next: 0,
+            completed: 0,
+            delay_sum: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Terminations currently in the window (`min(seen, window)`).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no termination has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Lifetime terminations observed (unwindowed).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Feeds one event; only terminations (`FlowCompleted`/`FlowDropped`)
+    /// move the window.
+    pub fn observe(&mut self, event: &SimEvent) {
+        match event {
+            SimEvent::FlowCompleted { e2e_delay, .. } => self.push(true, *e2e_delay),
+            SimEvent::FlowDropped { .. } => self.push(false, 0.0),
+            _ => {}
+        }
+    }
+
+    /// Feeds a drained event batch in order.
+    pub fn observe_batch(&mut self, events: &[SimEvent]) {
+        for ev in events {
+            self.observe(ev);
+        }
+    }
+
+    fn push(&mut self, completed: bool, delay: f64) {
+        self.seen += 1;
+        if self.ring.len() < self.window {
+            self.ring.push((completed, delay));
+        } else {
+            let (old_done, old_delay) = self.ring[self.next];
+            if old_done {
+                self.completed -= 1;
+                self.delay_sum -= old_delay;
+            }
+            self.ring[self.next] = (completed, delay);
+            self.next = (self.next + 1) % self.window;
+        }
+        if completed {
+            self.completed += 1;
+            self.delay_sum += delay;
+        }
+    }
+
+    /// Success ratio over the window, or `None` before any termination.
+    pub fn success_ratio(&self) -> Option<f64> {
+        if self.ring.is_empty() {
+            None
+        } else {
+            Some(self.completed as f64 / self.ring.len() as f64)
+        }
+    }
+
+    /// Mean end-to-end delay of completed flows in the window.
+    pub fn avg_e2e_delay(&self) -> Option<f64> {
+        if self.completed == 0 {
+            None
+        } else {
+            Some(self.delay_sum / self.completed as f64)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +290,81 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: Metrics = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    fn completed(delay: f64) -> SimEvent {
+        SimEvent::FlowCompleted {
+            flow: crate::flow::FlowId(0),
+            time: 0.0,
+            e2e_delay: delay,
+            node: dosco_topology::NodeId(0),
+        }
+    }
+
+    fn dropped() -> SimEvent {
+        SimEvent::FlowDropped {
+            flow: crate::flow::FlowId(0),
+            time: 0.0,
+            reason: DropReason::NodeCapacity,
+            node: dosco_topology::NodeId(0),
+        }
+    }
+
+    #[test]
+    fn windowed_stats_slide_over_terminations() {
+        let mut w = WindowedStats::new(3);
+        assert_eq!(w.success_ratio(), None);
+        assert!(w.is_empty());
+        w.observe_batch(&[completed(4.0), completed(6.0), dropped()]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.success_ratio(), Some(2.0 / 3.0));
+        assert_eq!(w.avg_e2e_delay(), Some(5.0));
+        // A fourth termination evicts the oldest completion (delay 4.0).
+        w.observe(&dropped());
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.seen(), 4);
+        assert_eq!(w.success_ratio(), Some(1.0 / 3.0));
+        assert_eq!(w.avg_e2e_delay(), Some(6.0));
+        // Two more drops push the last completion out.
+        w.observe_batch(&[dropped(), dropped()]);
+        assert_eq!(w.success_ratio(), Some(0.0));
+        assert_eq!(w.avg_e2e_delay(), None);
+    }
+
+    #[test]
+    fn windowed_stats_ignore_non_terminations() {
+        let mut w = WindowedStats::new(2);
+        w.observe(&SimEvent::Held {
+            flow: crate::flow::FlowId(1),
+            node: dosco_topology::NodeId(0),
+            time: 1.0,
+        });
+        assert!(w.is_empty());
+        assert_eq!(w.seen(), 0);
+    }
+
+    /// Memory is bounded by the window: feed far more terminations than
+    /// the window holds and the ring never grows past it, while the
+    /// rolling aggregates stay exact.
+    #[test]
+    fn windowed_stats_memory_is_window_bounded() {
+        let mut w = WindowedStats::new(16);
+        for i in 0..10_000u64 {
+            if i % 2 == 0 {
+                w.observe(&completed(1.0));
+            } else {
+                w.observe(&dropped());
+            }
+        }
+        assert_eq!(w.len(), 16);
+        assert_eq!(w.seen(), 10_000);
+        assert_eq!(w.success_ratio(), Some(0.5));
+        assert_eq!(w.avg_e2e_delay(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn windowed_stats_reject_zero_window() {
+        WindowedStats::new(0);
     }
 }

@@ -44,6 +44,8 @@ pub struct Probe<C> {
     period: f64,
     next_sample: f64,
     samples: Vec<Sample>,
+    /// Keep only the most recent `n` samples when set; unbounded otherwise.
+    window: Option<usize>,
 }
 
 impl<C> Probe<C> {
@@ -63,10 +65,25 @@ impl<C> Probe<C> {
             period,
             next_sample: 0.0,
             samples: Vec::new(),
+            window: None,
         }
     }
 
-    /// The recorded samples.
+    /// Bounds recording to the most recent `window` samples (oldest are
+    /// evicted), so memory stays constant on arbitrarily long episodes —
+    /// the probing analog of [`crate::metrics::WindowedStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "sample window must be positive");
+        self.window = Some(window);
+        self
+    }
+
+    /// The recorded samples (the most recent `window` of them when
+    /// bounded), oldest first.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
     }
@@ -127,6 +144,13 @@ impl<C> Probe<C> {
                 }
             })
             .collect();
+        if let Some(w) = self.window {
+            // Eviction is O(window) but runs once per sample period — noise
+            // next to the per-sample utilization scan itself.
+            while self.samples.len() >= w {
+                self.samples.remove(0);
+            }
+        }
         self.samples.push(Sample {
             time: sim.time(),
             node_util,
@@ -196,6 +220,28 @@ mod tests {
         let probe = Probe::new(RandomCoordinator::new(3), 10.0);
         let (_inner, samples) = probe.into_parts();
         assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn window_bounds_samples_and_keeps_newest() {
+        let cfg = ScenarioConfig::paper_base(2)
+            .with_pattern(dosco_traffic::ArrivalPattern::paper_poisson())
+            .with_horizon(1_000.0);
+        let mut unbounded = Probe::new(RandomCoordinator::new(1), 100.0);
+        Simulation::new(cfg.clone(), 1).run(&mut unbounded);
+        let mut windowed = Probe::new(RandomCoordinator::new(1), 100.0).with_window(3);
+        Simulation::new(cfg, 1).run(&mut windowed);
+        assert!(unbounded.samples().len() > 3);
+        assert_eq!(windowed.samples().len(), 3);
+        // The windowed probe holds exactly the tail of the unbounded run.
+        let tail = &unbounded.samples()[unbounded.samples().len() - 3..];
+        assert_eq!(windowed.samples(), tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample window")]
+    fn rejects_zero_window() {
+        let _ = Probe::new(RandomCoordinator::new(0), 1.0).with_window(0);
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! The indexed, cancellable event queue behind the simulator's scheduler.
+//!
+//! A classic `BinaryHeap` forces *lazy* cancellation: obsolete entries
+//! (idle-timeout probes whose instance woke up, deadline watchdogs for
+//! flows that already terminated, churn events for links that changed
+//! again) stay in the heap until popped and re-validated, so the queue
+//! carries its dead-event population and every pop pays for history.
+//!
+//! [`EventQueue`] is an index-based binary min-heap over slab-allocated
+//! entries: [`EventQueue::push`] returns an [`EventKey`] handle, and
+//! [`EventQueue::cancel`] removes the entry in O(log n) — stale handles
+//! (already popped or cancelled) are rejected in O(1) by a generation
+//! compare. Pop order is the deterministic contract the whole system
+//! rests on: strictly time-ascending, FIFO among equal timestamps
+//! (insertion sequence breaks ties), regardless of cancellations.
+//!
+//! Entries live in recycled slots, so steady-state operation allocates
+//! nothing and the footprint is the concurrent high-water mark.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Handle to one scheduled event, returned by [`EventQueue::push`].
+/// Becomes stale as soon as the event is popped or cancelled; stale
+/// handles are rejected by [`EventQueue::cancel`] in O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey {
+    slot: u32,
+    generation: u32,
+}
+
+impl fmt::Display for EventKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}v{}", self.slot, self.generation)
+    }
+}
+
+/// Marker for "not currently in the heap".
+const NO_POS: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<E> {
+    generation: u32,
+    /// Position in `heap`, or [`NO_POS`] when free.
+    pos: u32,
+    time: f64,
+    seq: u64,
+    event: Option<E>,
+}
+
+/// Deterministic time-ordered event queue with O(log n) cancellation.
+///
+/// Total order: `(time, seq)` with `seq` the per-queue insertion counter —
+/// unique, so ordering is strict and any two correct heaps pop the exact
+/// same sequence. `time` must never be NaN (construction asserts).
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E> {
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Binary min-heap of slot indices, ordered by `(time, seq)`.
+    heap: Vec<u32>,
+    seq: u64,
+    high_water: usize,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            seq: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`; the returned handle
+    /// can cancel it until it pops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN, or on more than `u32::MAX` live entries.
+    pub fn push(&mut self, time: f64, event: E) -> EventKey {
+        assert!(!time.is_nan(), "simulation time must not be NaN");
+        let seq = self.seq;
+        self.seq += 1;
+        let pos = u32::try_from(self.heap.len()).expect("event queue exceeds u32::MAX entries");
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.event.is_none(), "free-list slot must be empty");
+                s.pos = pos;
+                s.time = time;
+                s.seq = seq;
+                s.event = Some(event);
+                slot
+            }
+            None => {
+                let slot =
+                    u32::try_from(self.slots.len()).expect("event queue exceeds u32::MAX slots");
+                self.slots.push(Slot {
+                    generation: 0,
+                    pos,
+                    time,
+                    seq,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        self.heap.push(slot);
+        self.sift_up(pos as usize);
+        self.high_water = self.high_water.max(self.heap.len());
+        EventKey {
+            slot,
+            generation: self.slots[slot as usize].generation,
+        }
+    }
+
+    /// Pops the earliest event (FIFO among equal times), invalidating its
+    /// handle.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let &slot = self.heap.first()?;
+        self.remove_heap_index(0);
+        let s = &mut self.slots[slot as usize];
+        let time = s.time;
+        let event = s.event.take().expect("heap slot holds an event");
+        Some((time, event))
+    }
+
+    /// Cancels a scheduled event, removing it from the queue in O(log n).
+    /// Returns the event, or `None` if the handle is stale (the event
+    /// already popped or was cancelled) — an O(1) generation compare.
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        let s = self.slots.get(key.slot as usize)?;
+        if s.generation != key.generation || s.event.is_none() {
+            return None;
+        }
+        let pos = s.pos as usize;
+        debug_assert_eq!(self.heap[pos], key.slot);
+        self.remove_heap_index(pos);
+        self.slots[key.slot as usize].event.take()
+    }
+
+    /// The time of the earliest scheduled event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.first().map(|&s| self.slots[s as usize].time)
+    }
+
+    /// Scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Peak concurrent scheduled events over the queue's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Slots ever allocated (live + free): the resident-memory proxy.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Strict `(time, seq)` order between two slots.
+    #[inline]
+    fn less(&self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (&self.slots[a as usize], &self.slots[b as usize]);
+        match sa.time.partial_cmp(&sb.time).expect("times are never NaN") {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => sa.seq < sb.seq,
+        }
+    }
+
+    /// Detaches the heap entry at `pos`: swap-removes it, restores the
+    /// heap property, bumps the slot's generation, and frees the slot.
+    /// The caller still owns the slot's `event` (not yet taken).
+    fn remove_heap_index(&mut self, pos: usize) {
+        let slot = self.heap[pos];
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        if pos <= last && pos < self.heap.len() {
+            let moved = self.heap[pos];
+            self.slots[moved as usize].pos = pos as u32;
+            // The displaced entry may need to move either direction.
+            self.sift_down(pos);
+            let p = self.slots[moved as usize].pos as usize;
+            if p == pos {
+                self.sift_up(pos);
+            }
+        }
+        let s = &mut self.slots[slot as usize];
+        s.pos = NO_POS;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if !self.less(self.heap[pos], self.heap[parent]) {
+                break;
+            }
+            self.heap.swap(pos, parent);
+            self.slots[self.heap[pos] as usize].pos = pos as u32;
+            pos = parent;
+        }
+        self.slots[self.heap[pos] as usize].pos = pos as u32;
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let (l, r) = (2 * pos + 1, 2 * pos + 2);
+            let mut smallest = pos;
+            if l < self.heap.len() && self.less(self.heap[l], self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == pos {
+                break;
+            }
+            self.heap.swap(pos, smallest);
+            self.slots[self.heap[pos] as usize].pos = pos as u32;
+            pos = smallest;
+        }
+        self.slots[self.heap[pos] as usize].pos = pos as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 3u32);
+        q.push(1.0, 1);
+        q.push(2.0, 2);
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..5u32 {
+            q.push(5.0, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(2.5, 0u32);
+        q.push(1.5, 1);
+        assert_eq!(q.peek_time(), Some(1.5));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(2.5));
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, 0u32);
+    }
+
+    #[test]
+    fn cancel_removes_and_stale_handles_miss() {
+        let mut q = EventQueue::new();
+        let a = q.push(1.0, "a");
+        let b = q.push(2.0, "b");
+        let c = q.push(3.0, "c");
+        assert_eq!(q.cancel(b), Some("b"));
+        assert_eq!(q.cancel(b), None, "double-cancel must miss");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.cancel(a), None, "popped handle must miss");
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.cancel(c), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelled_slot_reuse_does_not_alias() {
+        let mut q = EventQueue::new();
+        let a = q.push(5.0, "old");
+        q.cancel(a);
+        let b = q.push(1.0, "new"); // reuses the freed slot
+        assert_eq!(q.cancel(a), None, "stale key must not cancel the new event");
+        assert_eq!(q.pop(), Some((1.0, "new")));
+        assert_eq!(q.cancel(b), None);
+    }
+
+    #[test]
+    fn high_water_and_capacity_track_peaks() {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..8).map(|i| q.push(i as f64, i)).collect();
+        for k in &keys[..6] {
+            q.cancel(*k);
+        }
+        for i in 0..4 {
+            q.push(100.0 + i as f64, i);
+        }
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.high_water(), 8);
+        assert_eq!(q.capacity(), 8, "churn must reuse slots");
+    }
+
+    /// Reference model: a Vec kept sorted by `(time, seq)`, with
+    /// cancellation by linear removal.
+    #[derive(Default)]
+    struct NaiveQueue {
+        entries: Vec<(f64, u64, u32)>, // (time, seq, payload)
+        seq: u64,
+    }
+
+    impl NaiveQueue {
+        fn push(&mut self, time: f64, payload: u32) -> u64 {
+            let seq = self.seq;
+            self.seq += 1;
+            self.entries.push((time, seq, payload));
+            seq
+        }
+        fn pop(&mut self) -> Option<(f64, u32)> {
+            let best = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
+                })?
+                .0;
+            let (t, _, p) = self.entries.remove(best);
+            Some((t, p))
+        }
+        fn cancel(&mut self, seq: u64) -> Option<u32> {
+            let i = self.entries.iter().position(|e| e.1 == seq)?;
+            Some(self.entries.remove(i).2)
+        }
+    }
+
+    /// One scripted operation on both queues.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Push at `base + jitter` (coarse times force equal-time ties).
+        Push { time: u8 },
+        Pop,
+        /// Cancel the `n`-th oldest still-tracked handle.
+        Cancel { n: u8 },
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        // Push listed twice: bias toward growth so scripts exercise deep
+        // heaps, not just empty-queue churn.
+        prop::collection::vec(
+            prop_oneof![
+                (0u8..16).prop_map(|time| Op::Push { time }),
+                (0u8..16).prop_map(|time| Op::Push { time }),
+                Just(Op::Pop),
+                (0u8..8).prop_map(|n| Op::Cancel { n }),
+            ],
+            1..200,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The indexed heap and the naive sorted-Vec model agree on every
+        /// pop (time AND payload — i.e. FIFO among equal times) and every
+        /// cancel across arbitrary push/pop/cancel interleavings.
+        #[test]
+        fn matches_naive_model(script in ops()) {
+            let mut q = EventQueue::new();
+            let mut model = NaiveQueue::default();
+            // Handles issued and not yet known-dead, oldest first.
+            let mut handles: Vec<(EventKey, u64)> = Vec::new();
+            let mut payload = 0u32;
+            for op in script {
+                match op {
+                    Op::Push { time } => {
+                        // Coarse grid: plenty of equal-time collisions.
+                        let t = f64::from(time) * 0.5;
+                        let k = q.push(t, payload);
+                        let s = model.push(t, payload);
+                        handles.push((k, s));
+                        payload += 1;
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(q.pop(), model.pop());
+                    }
+                    Op::Cancel { n } => {
+                        if handles.is_empty() { continue; }
+                        let (k, s) = handles[n as usize % handles.len()];
+                        prop_assert_eq!(q.cancel(k), model.cancel(s));
+                    }
+                }
+                prop_assert_eq!(q.len(), model.entries.len());
+                prop_assert_eq!(q.is_empty(), model.entries.is_empty());
+                let model_peek = model
+                    .entries
+                    .iter()
+                    .map(|e| e.0)
+                    .fold(f64::INFINITY, f64::min);
+                if let Some(t) = q.peek_time() {
+                    prop_assert_eq!(t, model_peek);
+                }
+            }
+            // Drain both: the full remaining pop order must agree.
+            loop {
+                let (a, b) = (q.pop(), model.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() { break; }
+            }
+        }
+    }
+}

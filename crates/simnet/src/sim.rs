@@ -2,15 +2,16 @@
 
 use crate::config::ScenarioConfig;
 use crate::coordinator::{Action, Coordinator, DecisionPoint};
-use crate::event::{DropReason, EventQueue, QueuedEvent, SimEvent};
-use crate::flow::{Flow, FlowId};
+use crate::event::{DropReason, QueuedEvent, SimEvent};
+use crate::flow::{Flow, FlowId, FlowKey};
 use crate::metrics::Metrics;
+use crate::queue::{EventKey, EventQueue};
 use crate::service::ComponentId;
+use crate::slab::Slab;
 use dosco_topology::{LinkId, NodeId, ShortestPaths};
 use dosco_traffic::ArrivalProcess;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Float tolerance for capacity admission checks.
 const CAP_EPS: f64 = 1e-9;
@@ -24,6 +25,9 @@ struct Instance {
     active: usize,
     /// Last time the instance became idle (for the idle timeout).
     last_release: f64,
+    /// The outstanding idle-timeout probe, cancelled when the instance
+    /// becomes active again. At most one probe is ever outstanding.
+    timeout: Option<EventKey>,
 }
 
 /// The discrete-event simulator. See the [crate docs](crate) for the model.
@@ -37,15 +41,27 @@ pub struct Simulation {
     network_degree: usize,
     diameter: f64,
     time: f64,
-    queue: EventQueue,
+    queue: EventQueue<QueuedEvent>,
     rng: StdRng,
     arrivals: Vec<Box<dyn ArrivalProcess>>,
-    flows: HashMap<FlowId, Flow>,
+    /// Live flows in a generational slab: freed slots are recycled, so the
+    /// footprint is the concurrent high-water mark, not the arrival count.
+    flows: Slab<Flow>,
     next_flow_id: u64,
     node_used: Vec<f64>,
     link_used: Vec<f64>,
-    instances: HashMap<(NodeId, ComponentId), Instance>,
+    /// Dense NodeId-major instance table (`node.0 * num_components + c.0`).
+    instances: Vec<Option<Instance>>,
+    num_components: usize,
+    num_instances: usize,
     pending: Option<DecisionPoint>,
+    /// Slab handle of the pending decision's flow, kept alongside
+    /// [`Simulation::pending`] so `flow(dp.flow)` on the decision hot path
+    /// resolves without hashing or scanning.
+    pending_key: Option<FlowKey>,
+    /// Events emitted since the last drain. Per-step draining via
+    /// [`Simulation::drain_events_into`] recycles this buffer, so memory
+    /// does not grow with episode length.
     events: Vec<SimEvent>,
     metrics: Metrics,
     finished: bool,
@@ -76,6 +92,8 @@ impl Simulation {
             config.ingresses.iter().map(|i| i.pattern.build()).collect();
         let node_used = vec![0.0; config.topology.num_nodes()];
         let link_used = vec![0.0; config.topology.num_links()];
+        let num_components = config.catalog.components().len();
+        let instances = vec![None; config.topology.num_nodes() * num_components];
         let mut sim = Simulation {
             config,
             sp,
@@ -85,12 +103,15 @@ impl Simulation {
             queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(seed),
             arrivals,
-            flows: HashMap::new(),
+            flows: Slab::new(),
             next_flow_id: 0,
             node_used,
             link_used,
-            instances: HashMap::new(),
+            instances,
+            num_components,
+            num_instances: 0,
             pending: None,
+            pending_key: None,
             events: Vec::new(),
             metrics: Metrics::new(),
             finished: false,
@@ -172,25 +193,63 @@ impl Simulation {
         self.config.topology.link(l).capacity - self.link_used[l.0]
     }
 
+    /// Dense index of `(v, c)` in the NodeId-major instance table.
+    #[inline]
+    fn inst_idx(&self, v: NodeId, c: ComponentId) -> usize {
+        v.0 * self.num_components + c.0
+    }
+
     /// Whether an instance of component `c` is placed at node `v`
     /// (`x_{c,v}(t)`, Sec. IV-B1e).
     pub fn has_instance(&self, v: NodeId, c: ComponentId) -> bool {
-        self.instances.contains_key(&(v, c))
+        self.instances[self.inst_idx(v, c)].is_some()
     }
 
     /// Number of placed instances (for scaling diagnostics).
     pub fn num_instances(&self) -> usize {
-        self.instances.len()
+        self.num_instances
     }
 
     /// The live flow `f`, if it has neither completed nor been dropped.
+    ///
+    /// The pending decision's flow — the only flow observation adapters
+    /// and coordinators query — resolves in O(1) via the cached slab
+    /// handle; any other id falls back to a scan over live flows
+    /// (diagnostics only).
     pub fn flow(&self, f: FlowId) -> Option<&Flow> {
-        self.flows.get(&f)
+        if let (Some(dp), Some(key)) = (&self.pending, self.pending_key) {
+            if dp.flow == f {
+                return self.flows.get(key.0);
+            }
+        }
+        self.flows.iter().find(|fl| fl.id == f)
     }
 
     /// Number of flows currently in the network.
     pub fn live_flows(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Peak concurrent live flows over the episode (slab high-water mark;
+    /// the resident-memory proxy for flow storage).
+    pub fn peak_live_flows(&self) -> usize {
+        self.flows.high_water()
+    }
+
+    /// Flow slab slots ever allocated (live + recycled). Flat over time in
+    /// steady state: churn reuses slots instead of growing the arena.
+    pub fn flow_slab_capacity(&self) -> usize {
+        self.flows.capacity()
+    }
+
+    /// Peak concurrent scheduled events over the episode.
+    pub fn peak_queued_events(&self) -> usize {
+        self.queue.high_water()
+    }
+
+    /// Event-queue slots ever allocated (live + recycled).
+    pub fn event_slab_capacity(&self) -> usize {
+        self.queue.capacity()
     }
 
     /// Metrics collected so far.
@@ -210,14 +269,27 @@ impl Simulation {
     }
 
     /// Removes and returns all events emitted since the last drain.
+    ///
+    /// Allocates a fresh `Vec` per call; steady-state loops should prefer
+    /// [`Simulation::drain_events_into`], which recycles one buffer.
     pub fn drain_events(&mut self) -> Vec<SimEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Moves all events emitted since the last drain into `out`
+    /// (clearing it first), handing the simulator back `out`'s old
+    /// allocation. Draining every step therefore ping-pongs two buffers
+    /// and never allocates once they reach the per-step event high-water
+    /// mark.
+    pub fn drain_events_into(&mut self, out: &mut Vec<SimEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.events, out);
     }
 
     /// The resource demand `r_{c_f}(λ_f)` of flow `f`'s requested
     /// component, or 0.0 if the flow is fully processed (Sec. IV-B1c).
     pub fn requested_resources(&self, f: FlowId) -> f64 {
-        let Some(flow) = self.flows.get(&f) else {
+        let Some(flow) = self.flow(f) else {
             return 0.0;
         };
         match self.config.catalog.component_at(flow.service, flow.chain_pos) {
@@ -278,10 +350,14 @@ impl Simulation {
             .pending
             .take()
             .expect("apply() requires a pending decision from next_decision()");
+        let key = self
+            .pending_key
+            .take()
+            .expect("pending key accompanies the pending decision");
         self.metrics.decisions += 1;
         match action {
-            Action::Local => self.apply_local(dp),
-            Action::Forward(i) => self.apply_forward(dp, i),
+            Action::Local => self.apply_local(dp, key),
+            Action::Forward(i) => self.apply_forward(dp, key, i),
         }
         if self.obs_stream.is_some() && self.metrics.decisions.is_multiple_of(self.obs_stride) {
             self.emit_sample();
@@ -289,9 +365,14 @@ impl Simulation {
     }
 
     /// Runs the full episode under `coordinator`, returning final metrics.
+    ///
+    /// Events are streamed to the coordinator per decision through one
+    /// recycled buffer, so the episode runs allocation-free in steady
+    /// state regardless of length.
     pub fn run<C: Coordinator + ?Sized>(&mut self, coordinator: &mut C) -> &Metrics {
+        let mut events = Vec::new();
         loop {
-            let events = self.drain_events();
+            self.drain_events_into(&mut events);
             if !events.is_empty() {
                 coordinator.observe(self, &events);
             }
@@ -301,7 +382,7 @@ impl Simulation {
             let action = coordinator.decide(self, &dp);
             self.apply(action);
         }
-        let events = self.drain_events();
+        self.drain_events_into(&mut events);
         if !events.is_empty() {
             coordinator.observe(self, &events);
         }
@@ -361,7 +442,7 @@ impl Simulation {
             node_util_max,
             link_util_mean,
             link_util_max,
-            instances: self.instances.len() as u64,
+            instances: self.num_instances as u64,
         });
     }
 
@@ -413,11 +494,12 @@ impl Simulation {
                 node,
                 component,
             } => {
-                if let Some(f) = self.flows.get_mut(&flow) {
+                if let Some(f) = self.flows.get_mut(flow.0) {
                     f.chain_pos += 1;
+                    let id = f.id;
                     let service_len = f.chain_len;
                     self.events.push(SimEvent::InstanceTraversed {
-                        flow,
+                        flow: id,
                         node,
                         component,
                         service_len,
@@ -434,17 +516,25 @@ impl Simulation {
                 amount,
             } => {
                 self.node_used[node.0] = (self.node_used[node.0] - amount).max(0.0);
-                if let Some(inst) = self.instances.get_mut(&(node, component)) {
+                let idx = self.inst_idx(node, component);
+                let went_idle = self.instances[idx].as_mut().is_some_and(|inst| {
                     inst.active = inst.active.saturating_sub(1);
                     if inst.active == 0 {
                         inst.last_release = self.time;
-                        let timeout = self.config.catalog.component(component).idle_timeout;
-                        self.queue
-                            .push(self.time + timeout, QueuedEvent::InstanceTimeout {
-                                node,
-                                component,
-                            });
+                        true
+                    } else {
+                        false
                     }
+                });
+                if went_idle {
+                    let timeout = self.config.catalog.component(component).idle_timeout;
+                    let probe = self.queue.push(
+                        self.time + timeout,
+                        QueuedEvent::InstanceTimeout { node, component },
+                    );
+                    let inst = self.instances[idx].as_mut().expect("instance went idle");
+                    debug_assert!(inst.timeout.is_none(), "one probe per instance");
+                    inst.timeout = Some(probe);
                 }
                 None
             }
@@ -453,15 +543,18 @@ impl Simulation {
                 None
             }
             QueuedEvent::InstanceTimeout { node, component } => {
+                // A probe only fires if it was never cancelled, i.e. the
+                // instance stayed idle for its full timeout; the guard is
+                // kept for defense in depth (and matches the lazy-check
+                // semantics of the pre-cancellation core exactly).
+                let idx = self.inst_idx(node, component);
                 let timeout = self.config.catalog.component(component).idle_timeout;
-                let remove = self
-                    .instances
-                    .get(&(node, component))
-                    .is_some_and(|inst| {
-                        inst.active == 0 && self.time + CAP_EPS >= inst.last_release + timeout
-                    });
+                let remove = self.instances[idx].as_ref().is_some_and(|inst| {
+                    inst.active == 0 && self.time + CAP_EPS >= inst.last_release + timeout
+                });
                 if remove {
-                    self.instances.remove(&(node, component));
+                    self.instances[idx] = None;
+                    self.num_instances -= 1;
                     self.metrics.instances_stopped += 1;
                     self.events.push(SimEvent::InstanceStopped {
                         node,
@@ -479,6 +572,7 @@ impl Simulation {
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
         let chain_len = self.config.catalog.service(spec.service).len();
+        let node = spec.node;
         let flow = Flow {
             id,
             service: spec.service,
@@ -492,66 +586,68 @@ impl Simulation {
             chain_len,
             location: spec.node,
         };
-        self.flows.insert(id, flow);
+        let key = FlowKey(self.flows.insert(flow));
         self.metrics.arrived += 1;
         self.events.push(SimEvent::FlowArrived {
             flow: id,
-            node: spec.node,
+            node,
             time: self.time,
         });
-        self.queue.push(self.time, QueuedEvent::Decision { flow: id });
+        self.queue.push(self.time, QueuedEvent::Decision { flow: key });
     }
 
-    fn handle_decision(&mut self, flow: FlowId) -> Option<DecisionPoint> {
-        let Some(f) = self.flows.get(&flow) else {
+    fn handle_decision(&mut self, key: FlowKey) -> Option<DecisionPoint> {
+        let Some(f) = self.flows.get(key.0) else {
             return None; // flow already terminated (defensive)
         };
+        let id = f.id;
         let node = f.location;
         if f.expired(self.time) {
-            self.drop_flow(flow, DropReason::DeadlineExpired, node);
+            self.drop_flow(key, DropReason::DeadlineExpired, node);
             return None;
         }
         if f.fully_processed() && node == f.egress {
-            self.complete_flow(flow, node);
+            self.complete_flow(key, node);
             return None;
         }
         let component = self.config.catalog.component_at(f.service, f.chain_pos);
+        self.pending_key = Some(key);
         Some(DecisionPoint {
-            flow,
+            flow: id,
             node,
             time: self.time,
             component,
         })
     }
 
-    fn complete_flow(&mut self, flow: FlowId, node: NodeId) {
-        let f = self.flows.remove(&flow).expect("completing a live flow");
+    fn complete_flow(&mut self, key: FlowKey, node: NodeId) {
+        let f = self.flows.remove(key.0).expect("completing a live flow");
         let e2e = self.time - f.arrival;
         self.metrics.completed += 1;
         self.metrics.e2e_delay_sum += e2e;
         self.events.push(SimEvent::FlowCompleted {
-            flow,
+            flow: f.id,
             time: self.time,
             e2e_delay: e2e,
             node,
         });
     }
 
-    fn drop_flow(&mut self, flow: FlowId, reason: DropReason, node: NodeId) {
-        self.flows.remove(&flow).expect("dropping a live flow");
+    fn drop_flow(&mut self, key: FlowKey, reason: DropReason, node: NodeId) {
+        let f = self.flows.remove(key.0).expect("dropping a live flow");
         self.metrics.record_drop(reason);
         self.events.push(SimEvent::FlowDropped {
-            flow,
+            flow: f.id,
             time: self.time,
             reason,
             node,
         });
     }
 
-    fn apply_local(&mut self, dp: DecisionPoint) {
+    fn apply_local(&mut self, dp: DecisionPoint, key: FlowKey) {
         let f = self
             .flows
-            .get(&dp.flow)
+            .get(key.0)
             .expect("pending decision refers to a live flow");
         let Some(component) = dp.component else {
             // Fully processed flow kept at the node: hold one time step
@@ -564,7 +660,7 @@ impl Simulation {
             });
             self.queue.push(
                 self.time + self.config.hold_delay,
-                QueuedEvent::Decision { flow: dp.flow },
+                QueuedEvent::Decision { flow: key },
             );
             return;
         };
@@ -572,25 +668,24 @@ impl Simulation {
         let demand = comp.resources(f.rate);
         let capacity = self.config.topology.node(dp.node).capacity;
         if self.node_used[dp.node.0] + demand > capacity + CAP_EPS {
-            self.drop_flow(dp.flow, DropReason::NodeCapacity, dp.node);
+            self.drop_flow(key, DropReason::NodeCapacity, dp.node);
             return;
         }
         let duration = f.duration;
         // Scaling/placement derived from scheduling (Sec. IV-A): ensure an
         // instance exists, starting one (with startup delay) if needed.
-        let key = (dp.node, component);
-        let available_at = match self.instances.get(&key) {
+        let idx = self.inst_idx(dp.node, component);
+        let available_at = match &self.instances[idx] {
             Some(inst) => inst.available_at,
             None => {
                 let available_at = self.time + comp.startup_delay;
-                self.instances.insert(
-                    key,
-                    Instance {
-                        available_at,
-                        active: 0,
-                        last_release: self.time,
-                    },
-                );
+                self.instances[idx] = Some(Instance {
+                    available_at,
+                    active: 0,
+                    last_release: self.time,
+                    timeout: None,
+                });
+                self.num_instances += 1;
                 self.metrics.instances_started += 1;
                 self.events.push(SimEvent::InstanceStarted {
                     node: dp.node,
@@ -603,14 +698,19 @@ impl Simulation {
         let start = self.time.max(available_at);
         let done = start + comp.processing_delay;
         self.node_used[dp.node.0] += demand;
-        self.instances
-            .get_mut(&key)
-            .expect("instance just ensured")
-            .active += 1;
+        let inst = self.instances[idx].as_mut().expect("instance just ensured");
+        inst.active += 1;
+        // The instance is busy again: its outstanding idle-timeout probe
+        // (if any) can no longer fire meaningfully — remove it from the
+        // queue instead of letting it pop as a dead entry.
+        let stale_probe = inst.timeout.take();
+        if let Some(probe) = stale_probe {
+            self.queue.cancel(probe);
+        }
         self.queue.push(
             done,
             QueuedEvent::ProcessingDone {
-                flow: dp.flow,
+                flow: key,
                 node: dp.node,
                 component,
             },
@@ -630,27 +730,30 @@ impl Simulation {
         );
     }
 
-    fn apply_forward(&mut self, dp: DecisionPoint, neighbor_idx: usize) {
+    fn apply_forward(&mut self, dp: DecisionPoint, key: FlowKey, neighbor_idx: usize) {
         let neighbors = self.config.topology.neighbors(dp.node);
         let Some(&(to, link)) = neighbors.get(neighbor_idx) else {
             // Non-existing neighbor: invalid action, flow dropped with a
             // high penalty (Sec. IV-B2).
-            self.drop_flow(dp.flow, DropReason::InvalidAction, dp.node);
+            self.drop_flow(key, DropReason::InvalidAction, dp.node);
             return;
         };
         let f = self
             .flows
-            .get_mut(&dp.flow)
+            .get(key.0)
             .expect("pending decision refers to a live flow");
         let rate = f.rate;
         let duration = f.duration;
         let l = self.config.topology.link(link);
         let (delay, capacity) = (l.delay, l.capacity);
         if self.link_used[link.0] + rate > capacity + CAP_EPS {
-            self.drop_flow(dp.flow, DropReason::LinkCapacity, dp.node);
+            self.drop_flow(key, DropReason::LinkCapacity, dp.node);
             return;
         }
-        f.location = to;
+        self.flows
+            .get_mut(key.0)
+            .expect("pending decision refers to a live flow")
+            .location = to;
         self.link_used[link.0] += rate;
         self.metrics.forwards += 1;
         self.events.push(SimEvent::Forwarded {
@@ -668,7 +771,7 @@ impl Simulation {
             QueuedEvent::ReleaseLink { link, amount: rate },
         );
         self.queue
-            .push(self.time + delay, QueuedEvent::Decision { flow: dp.flow });
+            .push(self.time + delay, QueuedEvent::Decision { flow: key });
     }
 }
 

@@ -34,6 +34,9 @@ cargo test --release -p dosco-serve --test bit_identity
 echo "== serve fault injection (SP fallback + hot-swap accounting) =="
 cargo test --release -p dosco-serve --test fault_injection
 
+echo "== simcore 100k-flow churn smoke (release, bounded time + flat memory) =="
+cargo test --release -p dosco-bench --test churn_smoke -- --include-ignored
+
 echo "== obs disabled-path overhead (release, <1% contract) =="
 cargo test --release -p dosco-bench --test obs_overhead -- --include-ignored
 

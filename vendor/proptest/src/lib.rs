@@ -19,6 +19,33 @@ pub mod strategy {
         type Value;
         /// Draws one value from the strategy.
         fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream `Strategy::prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
     }
 
     /// A boxed, type-erased strategy.
