@@ -13,8 +13,10 @@
 //! inference (`dosco_serve`, with decisions/sec in the record note), and
 //! the control plane's ops costs (`dosco_ctl`: HTTP `/metrics` round
 //! trips vs in-process export, registry publish/load vs a bare policy
-//! save), then writes `BENCH_PR7.json` at the repo root (or `--out
-//! <path>`).
+//! save), and the transport layer (`dosco_net`: in-process channels vs
+//! framed loopback-TCP socket channels, both raw batch hand-off and a
+//! full sync training run whose socket result is bit-identical), then
+//! writes `BENCH_PR8.json` at the repo root (or `--out <path>`).
 //!
 //! Span timers are armed for the whole run, so the report also embeds an
 //! `obs` snapshot: per-kind span totals (GEMM, K-FAC, rollout collection,
@@ -673,9 +675,107 @@ fn ctl_registry_roundtrip(note: &str) -> BenchRecord {
     )
 }
 
+/// Raw transport hand-off: N experience-sized payloads through an
+/// in-process bounded channel vs a framed, checksummed loopback-TCP
+/// socket channel. The socket pays encode + frame + syscall + decode per
+/// batch; this record prices exactly that tax.
+fn net_transport_batches(note: &str) -> BenchRecord {
+    use dosco_net::{BoxRx, BoxTx, InProcess, SocketLoopback, Transport};
+    const BATCHES: usize = 512;
+    let run = |t: &dyn Fn() -> (BoxTx<Vec<f32>>, BoxRx<Vec<f32>>)| {
+        let (tx, rx) = t();
+        let producer = std::thread::spawn(move || {
+            for _ in 0..BATCHES {
+                tx.send(payload_clone()).expect("bench send");
+            }
+        });
+        let mut got = 0usize;
+        while rx.recv().is_ok() {
+            got += 1;
+        }
+        producer.join().expect("bench producer");
+        assert_eq!(got, BATCHES);
+        got
+    };
+    fn payload_clone() -> Vec<f32> {
+        (0..4_096).map(|i| i as f32 * 0.5).collect()
+    }
+    let in_proc = time_ms(5, || {
+        run(&|| Transport::<Vec<f32>>::channel(&InProcess, 8))
+    });
+    let socket = time_ms(5, || {
+        run(&|| Transport::<Vec<f32>>::channel(&SocketLoopback, 8))
+    });
+    BenchRecord::new(
+        "net/transport-512-batches",
+        "InProcess bounded channel",
+        "SocketLoopback framed TCP",
+        in_proc,
+        socket,
+        note,
+    )
+}
+
+/// A full sync training run with every channel over loopback TCP vs the
+/// in-process transport. The results are bit-identical (pinned by the
+/// socket-equivalence tests); this record prices what that identity
+/// costs end to end.
+fn net_sync_training(note: &str) -> BenchRecord {
+    use dosco_net::SocketLoopback;
+    use dosco_rl::a2c::{A2c, A2cConfig};
+    let scenario = base_scenario(1, dosco_traffic::ArrivalPattern::paper_poisson(), 150.0);
+    let degree = scenario.topology.network_degree();
+    let (obs_dim, num_actions) = (4 * degree + 4, degree + 1);
+    let cfg = A2cConfig {
+        n_steps: 8,
+        hidden: [32, 32],
+        ..A2cConfig::default()
+    };
+    let total_steps = 320;
+    let make_envs = || -> Vec<Box<dyn Env>> {
+        (0..2)
+            .map(|i| {
+                Box::new(CoordEnv::new(
+                    scenario.clone(),
+                    RewardConfig::default(),
+                    700 + i,
+                    None,
+                )) as Box<dyn Env>
+            })
+            .collect()
+    };
+    let rt_cfg = dosco_runtime::RuntimeConfig::sync();
+    let in_proc = time_ms(5, || {
+        let mut agent = A2c::new(obs_dim, num_actions, cfg, 1);
+        dosco_runtime::train(&mut agent, &mut make_envs(), total_steps, &rt_cfg)
+            .stats
+            .total_steps
+    });
+    let socket = time_ms(5, || {
+        let mut agent = A2c::new(obs_dim, num_actions, cfg, 1);
+        dosco_runtime::train_with_transport(
+            &mut agent,
+            &mut make_envs(),
+            total_steps,
+            &rt_cfg,
+            &SocketLoopback,
+        )
+        .stats
+        .total_steps
+    });
+    BenchRecord::new(
+        "net/sync-train-320-steps-socket",
+        "in-process transport",
+        "loopback-TCP transport (bit-identical result)",
+        in_proc,
+        socket,
+        note,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
     // Arm span timers so the embedded obs snapshot covers the whole run.
     dosco_obs::set_spans_enabled(true);
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -762,6 +862,15 @@ fn main() {
     records.push(serve_throughput(1, host));
     eprintln!("[perf_report] serve throughput (2 shards)...");
     records.push(serve_throughput(2, host));
+    let net_note = format!(
+        "loopback TCP on a {host}-core host: the socket path costs codec + \
+         frame + checksum + syscalls per batch and cannot win on wall clock; \
+         the record prices the multi-process capability, not a speedup"
+    );
+    eprintln!("[perf_report] net transport batch hand-off...");
+    records.push(net_transport_batches(&net_note));
+    eprintln!("[perf_report] net sync training over socket...");
+    records.push(net_sync_training(&net_note));
     eprintln!("[perf_report] obs trace capture overhead...");
     records.push(obs_trace_overhead(
         "cost of a live JSONL trace on the simulation hot path; the \

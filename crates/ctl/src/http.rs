@@ -19,6 +19,7 @@
 //! ([`dosco_obs::env`]): `DOSCO_CTL_ADDR` (a socket address; defaults to
 //! an ephemeral loopback port) and `DOSCO_CTL_THREADS` (worker count).
 
+use crate::jobs::{ServeJobSpec, TrainJobSpec};
 use crate::state::CtlState;
 use crossbeam::channel::{self, Receiver};
 use dosco_obs::env::{parse_lookup, EnvParseError};
@@ -31,6 +32,8 @@ use std::time::Duration;
 
 /// Largest request head (request line + headers) the server accepts.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Largest `POST` body (job specs are small JSON objects).
+const MAX_BODY_BYTES: usize = 64 * 1024;
 /// Per-connection socket timeout: an ops surface never waits on a slow
 /// client while holding a worker.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
@@ -201,7 +204,7 @@ fn worker_loop(rx: &std::sync::Mutex<Receiver<TcpStream>>, state: &CtlState) {
 fn handle_connection(mut stream: TcpStream, state: &CtlState) {
     let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let Some(head) = read_request_head(&mut stream) else {
+    let Some((head, body)) = read_request(&mut stream) else {
         respond(&mut stream, 400, "Bad Request", r#"{"error":"bad request"}"#);
         return;
     };
@@ -214,36 +217,107 @@ fn handle_connection(mut stream: TcpStream, state: &CtlState) {
         respond(&mut stream, 400, "Bad Request", r#"{"error":"bad request"}"#);
         return;
     };
-    if method != "GET" {
-        respond(
+    // The ops routes take no query parameters; tolerate and strip them.
+    let path = target.split('?').next().unwrap_or(target);
+    match method {
+        "GET" => match route(state, path) {
+            Some(body) => respond(&mut stream, 200, "OK", &body),
+            None => respond(
+                &mut stream,
+                404,
+                "Not Found",
+                &format!(r#"{{"error":"not found","path":{}}}"#, json_str(path)),
+            ),
+        },
+        "POST" => {
+            let (status, reason, body) = route_post(state, path, &body);
+            respond(&mut stream, status, reason, &body);
+        }
+        _ => respond(
             &mut stream,
             405,
             "Method Not Allowed",
             &format!(r#"{{"error":"method not allowed","method":{}}}"#, json_str(method)),
-        );
-        return;
-    }
-    // The ops routes take no query parameters; tolerate and strip them.
-    let path = target.split('?').next().unwrap_or(target);
-    match route(state, path) {
-        Some(body) => respond(&mut stream, 200, "OK", &body),
-        None => respond(
-            &mut stream,
-            404,
-            "Not Found",
-            &format!(r#"{{"error":"not found","path":{}}}"#, json_str(path)),
         ),
     }
 }
 
-/// The route table: `Some(body)` for known paths.
+/// The `GET` route table: `Some(body)` for known paths.
 fn route(state: &CtlState, path: &str) -> Option<String> {
     match path {
         "/healthz" => Some(to_json(&state.healthz())),
         "/metrics" => Some(dosco_obs::report_json()),
         "/snapshot" => Some(to_json(&state.snapshot_response())),
         "/shards" => Some(to_json(&state.shards_response())),
+        "/jobs" => Some(format!(r#"{{"jobs":{}}}"#, to_json(&state.jobs().list()))),
         _ => None,
+    }
+}
+
+/// The `POST` route table: job control. `/jobs/train` and `/jobs/serve`
+/// take a JSON spec body (empty body = all defaults) and answer with the
+/// new job id; `/jobs/{id}/stop` requests a cooperative stop.
+fn route_post(state: &CtlState, path: &str, body: &str) -> (u16, &'static str, String) {
+    let parse_spec = |body: &str| -> Result<serde::Value, String> {
+        if body.trim().is_empty() {
+            Ok(serde::Value::Object(Vec::new()))
+        } else {
+            serde_json::from_str::<serde::Value>(body).map_err(|e| e.to_string())
+        }
+    };
+    let bad = |msg: &str| {
+        (
+            400,
+            "Bad Request",
+            format!(r#"{{"error":{}}}"#, json_str(msg)),
+        )
+    };
+    match path {
+        "/jobs/train" => match parse_spec(body).and_then(|v| TrainJobSpec::from_json(&v)) {
+            Ok(spec) => {
+                let id = state.jobs().spawn_train(spec);
+                (200, "OK", format!(r#"{{"id":{id},"kind":"train"}}"#))
+            }
+            Err(e) => bad(&e),
+        },
+        "/jobs/serve" => match parse_spec(body).and_then(|v| ServeJobSpec::from_json(&v)) {
+            Ok(spec) => {
+                let id = state.jobs().spawn_serve(spec);
+                (200, "OK", format!(r#"{{"id":{id},"kind":"serve"}}"#))
+            }
+            Err(e) => bad(&e),
+        },
+        _ => {
+            if let Some(id) = path
+                .strip_prefix("/jobs/")
+                .and_then(|rest| rest.strip_suffix("/stop"))
+                .and_then(|id| id.parse::<u64>().ok())
+            {
+                let stopped = state.jobs().stop(id);
+                if stopped {
+                    (200, "OK", format!(r#"{{"id":{id},"stopped":true}}"#))
+                } else {
+                    (
+                        404,
+                        "Not Found",
+                        format!(r#"{{"error":"no such job","id":{id}}}"#),
+                    )
+                }
+            } else if route(state, path).is_some() {
+                // A GET-only resource: method not allowed, not missing.
+                (
+                    405,
+                    "Method Not Allowed",
+                    r#"{"error":"method not allowed","method":"POST"}"#.to_string(),
+                )
+            } else {
+                (
+                    404,
+                    "Not Found",
+                    format!(r#"{{"error":"not found","path":{}}}"#, json_str(path)),
+                )
+            }
+        }
     }
 }
 
@@ -270,31 +344,55 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Reads until the blank line ending the request head. Returns `None`
-/// on I/O errors, timeouts, or oversized requests.
-fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+/// Reads one full request: the head up to the blank line, then — when a
+/// `Content-Length` header is present — exactly that many body bytes.
+/// Returns `None` on I/O errors, timeouts, or oversized requests.
+fn read_request(stream: &mut TcpStream) -> Option<(String, String)> {
     let mut data = Vec::new();
     let mut buf = [0u8; 1024];
-    loop {
+    let head_end = loop {
+        if let Some(pos) = data.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if data.len() > MAX_REQUEST_BYTES {
+            return None;
+        }
         match stream.read(&mut buf) {
-            Ok(0) => return None,
-            Ok(n) => {
-                data.extend_from_slice(&buf[..n]);
-                if data.len() > MAX_REQUEST_BYTES {
-                    return None;
-                }
-                if data.windows(4).any(|w| w == b"\r\n\r\n") {
-                    return String::from_utf8(data).ok();
-                }
-            }
-            Err(_) => return None,
+            Ok(0) | Err(_) => return None,
+            Ok(n) => data.extend_from_slice(&buf[..n]),
+        }
+    };
+    let head = String::from_utf8(data[..head_end].to_vec()).ok()?;
+    let content_length = head
+        .lines()
+        .skip(1)
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return None;
+    }
+    while data.len() < head_end + content_length {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => data.extend_from_slice(&buf[..n]),
         }
     }
+    let body = String::from_utf8(data[head_end..head_end + content_length].to_vec()).ok()?;
+    Some((head, body))
 }
 
 /// Writes one complete `Content-Length`-framed JSON response.
 fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
-    let allow = if status == 405 { "Allow: GET\r\n" } else { "" };
+    let allow = if status == 405 {
+        "Allow: GET, POST\r\n"
+    } else {
+        ""
+    };
     let response = format!(
         "HTTP/1.1 {status} {reason}\r\n\
          Content-Type: application/json\r\n\

@@ -1,0 +1,491 @@
+//! Background job control: spawn, observe, and stop training-runtime and
+//! serving-fabric runs from the ops surface.
+//!
+//! A job is one background thread driving either
+//! [`dosco_runtime::train_cancellable`] (a fresh A2C agent over
+//! [`CoordEnv`] copies of the paper's base scenario) or a cancellable
+//! [`dosco_serve::serve`] run (a fresh policy over concurrent episodes).
+//! Both planes already expose cooperative cancellation — the runtime
+//! checks its flag at every batch boundary, the fabric at every epoch
+//! boundary — so `stop` is a flag store, never a kill: the job drains
+//! out with its invariants intact (batch conservation, decision
+//! accounting) and reports a partial summary.
+//!
+//! Specs arrive as JSON bodies with every field optional; unknown fields
+//! are rejected so a typo'd knob fails loudly instead of silently running
+//! the default.
+
+use dosco_core::{CoordEnv, CoordinationPolicy, RewardConfig};
+use dosco_core::policy::PolicyMetadata;
+use dosco_nn::mlp::{Activation, Mlp};
+use dosco_rl::a2c::{A2c, A2cConfig};
+use dosco_rl::env::Env;
+use dosco_runtime::{train_cancellable, Mode, RuntimeConfig};
+use dosco_serve::ServeConfig;
+use dosco_simnet::ScenarioConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A training-job spec, with defaults sized for an ops smoke run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainJobSpec {
+    /// Environment transitions to train for.
+    pub total_steps: usize,
+    /// `Mode::Sync` (lockstep, bit-identical to serial) or `Mode::Async`.
+    pub mode: Mode,
+    /// Actor threads (forced to 1 by sync mode).
+    pub n_actors: usize,
+    /// Agent / environment seed base.
+    pub seed: u64,
+    /// Simulated-time horizon of each training episode.
+    pub horizon: f64,
+}
+
+impl Default for TrainJobSpec {
+    fn default() -> Self {
+        TrainJobSpec {
+            total_steps: 2_000,
+            mode: Mode::Async,
+            n_actors: 2,
+            seed: 0,
+            horizon: 300.0,
+        }
+    }
+}
+
+/// A serving-job spec, with defaults sized for an ops smoke run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeJobSpec {
+    /// Concurrent episodes to serve.
+    pub episodes: usize,
+    /// Worker shards (clamped to the node count by the fabric).
+    pub num_shards: usize,
+    /// `Some(seed)` for stochastic serving, `None` for greedy.
+    pub stochastic_seed: Option<u64>,
+    /// Policy-init / episode seed base.
+    pub seed: u64,
+    /// Simulated-time horizon of each served episode.
+    pub horizon: f64,
+}
+
+impl Default for ServeJobSpec {
+    fn default() -> Self {
+        ServeJobSpec {
+            episodes: 2,
+            num_shards: 2,
+            stochastic_seed: None,
+            seed: 0,
+            horizon: 300.0,
+        }
+    }
+}
+
+fn spec_u64(obj: &Value, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn spec_f64(obj: &Value, key: &str) -> Result<Option<f64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a number")),
+    }
+}
+
+/// Rejects unknown keys so a misspelled knob cannot silently run the
+/// default configuration.
+fn check_keys(spec: &Value, allowed: &[&str]) -> Result<(), String> {
+    let Some(entries) = spec.as_object() else {
+        return Err("job spec must be a JSON object".to_string());
+    };
+    for (k, _) in entries {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown field {k:?} (allowed: {allowed:?})"));
+        }
+    }
+    Ok(())
+}
+
+impl TrainJobSpec {
+    /// Parses a JSON body (`{}` and missing fields take defaults).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending field.
+    pub fn from_json(spec: &Value) -> Result<Self, String> {
+        check_keys(
+            spec,
+            &["total_steps", "mode", "n_actors", "seed", "horizon"],
+        )?;
+        let mut out = TrainJobSpec::default();
+        if let Some(v) = spec_u64(spec, "total_steps")? {
+            out.total_steps = usize::try_from(v).map_err(|_| "total_steps too large")?;
+        }
+        if let Some(v) = spec.get("mode") {
+            out.mode = match v.as_str() {
+                Some("sync") => Mode::Sync,
+                Some("async") => Mode::Async,
+                _ => return Err(r#"field "mode" must be "sync" or "async""#.to_string()),
+            };
+        }
+        if let Some(v) = spec_u64(spec, "n_actors")? {
+            if v == 0 {
+                return Err(r#"field "n_actors" must be at least 1"#.to_string());
+            }
+            out.n_actors = usize::try_from(v).map_err(|_| "n_actors too large")?;
+        }
+        if let Some(v) = spec_u64(spec, "seed")? {
+            out.seed = v;
+        }
+        if let Some(v) = spec_f64(spec, "horizon")? {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(r#"field "horizon" must be a positive number"#.to_string());
+            }
+            out.horizon = v;
+        }
+        Ok(out)
+    }
+}
+
+impl ServeJobSpec {
+    /// Parses a JSON body (`{}` and missing fields take defaults).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending field.
+    pub fn from_json(spec: &Value) -> Result<Self, String> {
+        check_keys(
+            spec,
+            &["episodes", "num_shards", "stochastic_seed", "seed", "horizon"],
+        )?;
+        let mut out = ServeJobSpec::default();
+        if let Some(v) = spec_u64(spec, "episodes")? {
+            if v == 0 {
+                return Err(r#"field "episodes" must be at least 1"#.to_string());
+            }
+            out.episodes = usize::try_from(v).map_err(|_| "episodes too large")?;
+        }
+        if let Some(v) = spec_u64(spec, "num_shards")? {
+            if v == 0 {
+                return Err(r#"field "num_shards" must be at least 1"#.to_string());
+            }
+            out.num_shards = usize::try_from(v).map_err(|_| "num_shards too large")?;
+        }
+        if let Some(v) = spec_u64(spec, "stochastic_seed")? {
+            out.stochastic_seed = Some(v);
+        }
+        if let Some(v) = spec_u64(spec, "seed")? {
+            out.seed = v;
+        }
+        if let Some(v) = spec_f64(spec, "horizon")? {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(r#"field "horizon" must be a positive number"#.to_string());
+            }
+            out.horizon = v;
+        }
+        Ok(out)
+    }
+}
+
+/// One job as `GET /jobs` reports it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct JobView {
+    /// The id `POST /jobs/{kind}` returned.
+    pub id: u64,
+    /// `"train"` or `"serve"`.
+    pub kind: String,
+    /// `"running"` or `"done"`.
+    pub state: String,
+    /// Whether a stop was requested (the job may still be draining).
+    pub stop_requested: bool,
+    /// The job's summary line once done.
+    pub summary: Option<String>,
+}
+
+struct Job {
+    kind: &'static str,
+    cancel: Arc<AtomicBool>,
+    handle: Option<JoinHandle<String>>,
+    summary: Option<String>,
+}
+
+impl Job {
+    /// Joins a finished worker, caching its summary. Running jobs are
+    /// left alone — this never blocks.
+    fn reap(&mut self) {
+        if self.handle.as_ref().is_some_and(JoinHandle::is_finished) {
+            let handle = self.handle.take().expect("checked above");
+            self.summary = Some(match handle.join() {
+                Ok(s) => s,
+                Err(_) => "job panicked".to_string(),
+            });
+        }
+    }
+
+    fn view(&self, id: u64) -> JobView {
+        JobView {
+            id,
+            kind: self.kind.to_string(),
+            state: if self.handle.is_some() { "running" } else { "done" }.to_string(),
+            stop_requested: self.cancel.load(Ordering::Relaxed),
+            summary: self.summary.clone(),
+        }
+    }
+}
+
+/// The job table behind the `POST /jobs/*` routes. Thread-safe; the HTTP
+/// workers call it concurrently.
+#[derive(Default)]
+pub struct JobManager {
+    jobs: Mutex<BTreeMap<u64, Job>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for JobManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobManager")
+            .field("jobs", &self.jobs.lock().expect("job table poisoned").len())
+            .finish()
+    }
+}
+
+impl JobManager {
+    /// An empty job table.
+    #[must_use]
+    pub fn new() -> Self {
+        JobManager::default()
+    }
+
+    fn register(&self, job: Job) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.jobs
+            .lock()
+            .expect("job table poisoned")
+            .insert(id, job);
+        id
+    }
+
+    /// Spawns a cancellable training run and returns its job id.
+    pub fn spawn_train(&self, spec: TrainJobSpec) -> u64 {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&cancel);
+        let handle = std::thread::Builder::new()
+            .name("dosco-ctl-job-train".to_string())
+            .spawn(move || run_train_job(&spec, &flag))
+            .expect("spawning train job thread");
+        self.register(Job {
+            kind: "train",
+            cancel,
+            handle: Some(handle),
+            summary: None,
+        })
+    }
+
+    /// Spawns a cancellable serving run and returns its job id.
+    pub fn spawn_serve(&self, spec: ServeJobSpec) -> u64 {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&cancel);
+        let handle = std::thread::Builder::new()
+            .name("dosco-ctl-job-serve".to_string())
+            .spawn(move || run_serve_job(&spec, &flag))
+            .expect("spawning serve job thread");
+        self.register(Job {
+            kind: "serve",
+            cancel,
+            handle: Some(handle),
+            summary: None,
+        })
+    }
+
+    /// Requests a cooperative stop. Returns `false` for an unknown id.
+    /// The job keeps running until its next cancellation point; poll
+    /// `GET /jobs` for the drain.
+    pub fn stop(&self, id: u64) -> bool {
+        let jobs = self.jobs.lock().expect("job table poisoned");
+        match jobs.get(&id) {
+            Some(job) => {
+                job.cancel.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All jobs in id order, reaping finished workers on the way.
+    pub fn list(&self) -> Vec<JobView> {
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        jobs.iter_mut()
+            .map(|(&id, job)| {
+                job.reap();
+                job.view(id)
+            })
+            .collect()
+    }
+
+    /// Stops every job and blocks until all workers have drained.
+    pub fn shutdown(&self) {
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        for job in jobs.values_mut() {
+            job.cancel.store(true, Ordering::Relaxed);
+        }
+        for job in jobs.values_mut() {
+            if let Some(handle) = job.handle.take() {
+                job.summary = Some(match handle.join() {
+                    Ok(s) => s,
+                    Err(_) => "job panicked".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// The training-job body: a fresh A2C agent over `CoordEnv` copies of
+/// the paper's base scenario, run through the cancellable runtime.
+fn run_train_job(spec: &TrainJobSpec, cancel: &AtomicBool) -> String {
+    let scenario = ScenarioConfig::paper_base(2).with_horizon(spec.horizon);
+    let degree = scenario.topology.network_degree();
+    let (obs_dim, num_actions) = (4 * degree + 4, degree + 1);
+    let n_envs = (2 * spec.n_actors).max(2);
+    let mut envs: Vec<Box<dyn Env>> = (0..n_envs)
+        .map(|i| {
+            Box::new(CoordEnv::new(
+                scenario.clone(),
+                RewardConfig::default(),
+                spec.seed.wrapping_add(i as u64),
+                None,
+            )) as Box<dyn Env>
+        })
+        .collect();
+    let mut agent = A2c::new(
+        obs_dim,
+        num_actions,
+        A2cConfig {
+            n_steps: 16,
+            hidden: [32, 32],
+            ..A2cConfig::default()
+        },
+        spec.seed,
+    );
+    let config = RuntimeConfig {
+        mode: spec.mode,
+        n_actors: spec.n_actors,
+        channel_capacity: 4,
+        minibatch_batches: 1,
+        max_staleness: 64,
+        actor_seed: spec.seed,
+    };
+    config.validate().expect("job runtime configuration");
+    let outcome = train_cancellable(&mut agent, &mut envs, spec.total_steps, &config, cancel);
+    format!(
+        "trained {} steps over {} updates (mode {}, tail mean reward {:.4})",
+        outcome.stats.total_steps,
+        outcome.stats.mean_rewards.len(),
+        outcome.report.mode,
+        outcome.stats.tail_mean(10),
+    )
+}
+
+/// The serving-job body: a fresh (random-init) policy served over
+/// concurrent episodes through the cancellable fabric.
+fn run_serve_job(spec: &ServeJobSpec, cancel: &AtomicBool) -> String {
+    let scenario = ScenarioConfig::paper_base(2).with_horizon(spec.horizon);
+    let degree = scenario.topology.network_degree();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let actor = Mlp::new(&[4 * degree + 4, 32, degree + 1], Activation::Tanh, &mut rng);
+    let policy = CoordinationPolicy::new(actor, degree, PolicyMetadata::default());
+    let seeds: Vec<u64> = (0..spec.episodes)
+        .map(|i| spec.seed.wrapping_add(i as u64 + 1))
+        .collect();
+    // The fabric polls its own `Arc` flag; the epoch hook mirrors the
+    // job's flag into it (the hook runs at every epoch boundary, exactly
+    // where the fabric checks).
+    let shared = Arc::new(AtomicBool::new(cancel.load(Ordering::Relaxed)));
+    let mut cfg = ServeConfig::new(spec.num_shards).with_cancel(Arc::clone(&shared));
+    if let Some(s) = spec.stochastic_seed {
+        cfg = cfg.with_stochastic_seed(s);
+    }
+    let outcome = dosco_serve::serve_with(&policy, None, &scenario, &seeds, &cfg, |_| {
+        if cancel.load(Ordering::Relaxed) {
+            shared.store(true, Ordering::Relaxed);
+        }
+    });
+    format!(
+        "served {} episodes over {} epochs: {} decisions ({} batched, {} fallback)",
+        seeds.len(),
+        outcome.report.epochs,
+        outcome.report.decisions,
+        outcome.report.batched_decisions,
+        outcome.report.fallback_decisions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(s: &str) -> Value {
+        serde_json::from_str::<Value>(s).expect("test JSON parses")
+    }
+
+    #[test]
+    fn specs_default_and_override() {
+        let t = TrainJobSpec::from_json(&json("{}")).unwrap();
+        assert_eq!(t, TrainJobSpec::default());
+        let t = TrainJobSpec::from_json(&json(
+            r#"{"total_steps": 500, "mode": "sync", "seed": 9}"#,
+        ))
+        .unwrap();
+        assert_eq!(t.total_steps, 500);
+        assert_eq!(t.mode, Mode::Sync);
+        assert_eq!(t.seed, 9);
+
+        let s = ServeJobSpec::from_json(&json(r#"{"episodes": 3, "stochastic_seed": 7}"#)).unwrap();
+        assert_eq!(s.episodes, 3);
+        assert_eq!(s.stochastic_seed, Some(7));
+    }
+
+    #[test]
+    fn specs_reject_unknown_and_malformed_fields() {
+        let err = TrainJobSpec::from_json(&json(r#"{"totl_steps": 500}"#)).unwrap_err();
+        assert!(err.contains("totl_steps"), "{err}");
+        let err = TrainJobSpec::from_json(&json(r#"{"mode": "turbo"}"#)).unwrap_err();
+        assert!(err.contains("mode"), "{err}");
+        let err = ServeJobSpec::from_json(&json(r#"{"episodes": 0}"#)).unwrap_err();
+        assert!(err.contains("episodes"), "{err}");
+        let err = ServeJobSpec::from_json(&json(r#"[1,2]"#)).unwrap_err();
+        assert!(err.contains("object"), "{err}");
+    }
+
+    #[test]
+    fn jobs_run_stop_and_reap() {
+        let mgr = JobManager::new();
+        let id = mgr.spawn_train(TrainJobSpec {
+            total_steps: 1_000_000_000, // far beyond the test's patience
+            mode: Mode::Sync,
+            n_actors: 1,
+            seed: 1,
+            horizon: 100.0,
+        });
+        assert!(mgr.stop(id), "known id stops");
+        assert!(!mgr.stop(id + 999), "unknown id does not");
+        mgr.shutdown();
+        let jobs = mgr.list();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].state, "done");
+        assert!(jobs[0].stop_requested);
+        assert!(jobs[0].summary.as_deref().unwrap_or("").contains("trained"));
+    }
+}

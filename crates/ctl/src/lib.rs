@@ -32,6 +32,7 @@
 
 pub mod canary;
 pub mod http;
+pub mod jobs;
 pub mod registry;
 pub mod state;
 
@@ -40,5 +41,6 @@ pub use canary::{
     ThresholdJudge,
 };
 pub use http::{CtlConfig, CtlServer};
+pub use jobs::{JobManager, JobView, ServeJobSpec, TrainJobSpec};
 pub use registry::{ArtifactMeta, PolicyRegistry, PromotionAction, PromotionRecord};
 pub use state::{CtlState, HealthResponse, ShardsResponse, SlotView, SnapshotResponse};

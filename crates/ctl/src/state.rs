@@ -6,6 +6,7 @@
 //! planes attached as they start; detached endpoints answer honestly
 //! (`attached: false` / `null` fields) instead of erroring.
 
+use crate::jobs::JobManager;
 use crate::registry::{ArtifactMeta, PolicyRegistry};
 use dosco_runtime::PolicySlot;
 use dosco_serve::{FabricStatus, StatusBoard};
@@ -60,6 +61,7 @@ pub struct CtlState {
     slot: Mutex<Option<Arc<PolicySlot>>>,
     board: Mutex<Option<Arc<StatusBoard>>>,
     registry: Mutex<Option<Arc<Mutex<PolicyRegistry>>>>,
+    jobs: JobManager,
 }
 
 impl CtlState {
@@ -81,6 +83,11 @@ impl CtlState {
     /// Attaches (or replaces) the policy registry.
     pub fn attach_registry(&self, registry: Arc<Mutex<PolicyRegistry>>) {
         *self.registry.lock().expect("ctl state poisoned") = Some(registry);
+    }
+
+    /// The background-job table behind the `POST /jobs/*` routes.
+    pub fn jobs(&self) -> &JobManager {
+        &self.jobs
     }
 
     /// The `GET /healthz` body.

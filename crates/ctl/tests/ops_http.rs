@@ -218,3 +218,88 @@ fn detached_state_serves_nulls() {
     assert!(!shards.attached);
     server.shutdown();
 }
+
+/// A POST round trip with a JSON body (the job-control routes).
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to ctl server");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    stream.flush().expect("flush request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Job control end to end over real HTTP: spawn a training job and a
+/// serving job, list them, stop the long one, and watch both drain to
+/// `done` with honest summaries. Malformed specs fail with 400 naming
+/// the offending field.
+#[test]
+fn job_control_routes_spawn_stop_and_report() {
+    let state = Arc::new(CtlState::new());
+    let server = CtlServer::start(&CtlConfig::default(), Arc::clone(&state)).unwrap();
+    let addr = server.addr();
+
+    // A quick serve job: finishes on its own.
+    let (code, body) = http_post(addr, "/jobs/serve", r#"{"episodes": 1, "horizon": 60.0}"#);
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains(r#""kind":"serve""#), "{body}");
+
+    // A training job sized to outlive the test unless stopped.
+    let (code, body) = http_post(
+        addr,
+        "/jobs/train",
+        r#"{"total_steps": 100000000, "mode": "sync", "n_actors": 1, "horizon": 60.0}"#,
+    );
+    assert_eq!(code, 200, "{body}");
+    let train_id: u64 = body
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("train job id in response");
+
+    let (code, body) = http_get(addr, "/jobs");
+    assert_eq!(code, 200);
+    assert!(body.contains(r#""kind":"train""#), "{body}");
+
+    // Stop the trainer; unknown ids 404.
+    let (code, body) = http_post(addr, &format!("/jobs/{train_id}/stop"), "");
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains(r#""stopped":true"#), "{body}");
+    let (code, _) = http_post(addr, "/jobs/999999/stop", "");
+    assert_eq!(code, 404);
+
+    // Malformed specs fail loudly, naming the field.
+    let (code, body) = http_post(addr, "/jobs/train", r#"{"total_stepz": 5}"#);
+    assert_eq!(code, 400);
+    assert!(body.contains("total_stepz"), "{body}");
+    let (code, body) = http_post(addr, "/jobs/serve", r#"{"episodes": 0}"#);
+    assert_eq!(code, 400);
+    assert!(body.contains("episodes"), "{body}");
+
+    // Both jobs drain to done (the stopped trainer cooperatively, the
+    // serve job by finishing its episode).
+    state.jobs().shutdown();
+    let (code, body) = http_get(addr, "/jobs");
+    assert_eq!(code, 200);
+    assert!(!body.contains(r#""state":"running""#), "{body}");
+    assert!(body.contains("served 1 episodes"), "{body}");
+
+    server.shutdown();
+}

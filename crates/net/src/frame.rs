@@ -1,0 +1,277 @@
+//! Length-prefixed, checksummed binary frames.
+//!
+//! Every wire message travels as one frame:
+//!
+//! ```text
+//! +------+-----------+---------------+-------------------+
+//! | DNF1 | len: u32  | checksum: u64 | payload (len b)   |
+//! +------+-----------+---------------+-------------------+
+//!   4 B     LE           LE (FNV-1a of payload)
+//! ```
+//!
+//! The 16-byte header is fixed; `len` bounds the payload and the checksum
+//! is FNV-1a 64 over the payload bytes, so a flipped bit anywhere in the
+//! body surfaces as [`FrameError::ChecksumMismatch`] instead of a garbled
+//! decode downstream. A clean EOF *between* frames is [`FrameError::Eof`]
+//! (the peer closed after draining — the transport's disconnect signal);
+//! EOF *inside* a frame is [`FrameError::Truncated`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use dosco_obs::registry::{count, CounterKind};
+
+/// Frame magic: "dosco net frame v1".
+pub const MAGIC: [u8; 4] = *b"DNF1";
+
+/// Fixed header size: magic + payload length + checksum.
+pub const HEADER_LEN: usize = 16;
+
+/// Upper bound on a single payload (64 MiB). A million-step rollout is far
+/// below this; anything larger is a corrupt or hostile length field.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// FNV-1a 64-bit hash (local copy of `dosco_core::fnv1a64`; duplicated so
+/// the wire crate stays dependency-light and the wire format is pinned here).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a frame could not be read or verified.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end-of-stream at a frame boundary: the peer closed after
+    /// writing its last complete frame. This is the normal disconnect
+    /// signal, not corruption.
+    Eof,
+    /// The stream ended inside a header or payload.
+    Truncated,
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The length field exceeds [`MAX_PAYLOAD`].
+    TooLarge(u32),
+    /// The payload hashed to a different value than the header claimed.
+    ChecksumMismatch {
+        /// Checksum carried in the frame header.
+        expected: u64,
+        /// Checksum computed over the received payload.
+        actual: u64,
+    },
+    /// An I/O error other than EOF.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "clean end of stream at frame boundary"),
+            FrameError::Truncated => write!(f, "stream ended inside a frame"),
+            FrameError::BadMagic(m) => {
+                write!(f, "bad frame magic {m:02x?} (expected {MAGIC:02x?})")
+            }
+            FrameError::TooLarge(n) => {
+                write!(f, "frame payload length {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            FrameError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Encodes `payload` into a standalone frame byte vector (header + body).
+#[must_use]
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "frame payload {} exceeds cap {MAX_PAYLOAD}",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one frame from the front of `bytes`, returning the payload and
+/// the number of bytes consumed.
+///
+/// # Errors
+///
+/// Any [`FrameError`] variant except [`FrameError::Io`]; an empty input is
+/// [`FrameError::Eof`].
+pub fn decode_frame(bytes: &[u8]) -> Result<(Vec<u8>, usize), FrameError> {
+    let mut cursor = io::Cursor::new(bytes);
+    let payload = read_frame(&mut cursor)?;
+    Ok((payload, cursor.position() as usize))
+}
+
+/// Writes one frame (header + payload) to `w` and flushes it, counting the
+/// bytes and frame into the obs registry.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] if the write or flush fails.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    let frame = encode_frame(payload);
+    w.write_all(&frame).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)?;
+    count(CounterKind::NetFramesSent, 1);
+    count(CounterKind::NetBytesSent, frame.len() as u64);
+    Ok(())
+}
+
+/// Reads one complete frame from `r`, verifying magic, length cap, and
+/// checksum, and counting bytes/frames into the obs registry.
+///
+/// # Errors
+///
+/// [`FrameError::Eof`] on a clean close before any header byte; otherwise
+/// the named corruption or I/O variant.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or_eof(r, &mut header)?;
+    let magic: [u8; 4] = header[0..4].try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::TooLarge(len));
+    }
+    let expected = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let actual = fnv1a64(&payload);
+    if actual != expected {
+        return Err(FrameError::ChecksumMismatch { expected, actual });
+    }
+    count(CounterKind::NetFramesReceived, 1);
+    count(CounterKind::NetBytesReceived, (HEADER_LEN + payload.len()) as u64);
+    Ok(payload)
+}
+
+/// Like `read_exact`, but distinguishes "no bytes at all" (clean EOF at a
+/// frame boundary) from "some bytes then EOF" (truncation mid-frame).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    FrameError::Eof
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_reference_vectors() {
+        // Reference vectors from the FNV spec; pins wire compatibility with
+        // dosco_core::fnv1a64.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn round_trip() {
+        let payload = b"hello frames".to_vec();
+        let bytes = encode_frame(&payload);
+        assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        let (decoded, used) = decode_frame(&bytes).expect("decode");
+        assert_eq!(decoded, payload);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bytes = encode_frame(&[]);
+        let (decoded, used) = decode_frame(&bytes).expect("decode");
+        assert!(decoded.is_empty());
+        assert_eq!(used, HEADER_LEN);
+    }
+
+    #[test]
+    fn eof_at_boundary_vs_truncated() {
+        assert!(matches!(decode_frame(&[]), Err(FrameError::Eof)));
+        let bytes = encode_frame(b"abc");
+        assert!(matches!(
+            decode_frame(&bytes[..HEADER_LEN - 3]),
+            Err(FrameError::Truncated)
+        ));
+        assert!(matches!(
+            decode_frame(&bytes[..bytes.len() - 1]),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_is_checksum_mismatch() {
+        let mut bytes = encode_frame(b"payload under test");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_oversize_are_named() {
+        let mut bytes = encode_frame(b"x");
+        bytes[0] = b'X';
+        assert!(matches!(decode_frame(&bytes), Err(FrameError::BadMagic(_))));
+
+        let mut oversize = encode_frame(b"x");
+        oversize[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&oversize),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn sequential_frames_decode_in_order() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"first").expect("write");
+        write_frame(&mut stream, b"second").expect("write");
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_frame(&mut cursor).expect("first"), b"first");
+        assert_eq!(read_frame(&mut cursor).expect("second"), b"second");
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Eof)));
+    }
+}

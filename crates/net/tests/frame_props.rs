@@ -1,0 +1,147 @@
+//! Property tests for the wire format (satellite: frame-codec hardening).
+//!
+//! - encode→decode is *bitwise* round-trip for arbitrary value trees
+//!   (compared on re-encoded bytes, so NaN floats — where `PartialEq`
+//!   cannot — still count as equal when their bits survive);
+//! - any single corrupted byte in a frame yields a named `FrameError`,
+//!   never a panic or a silently wrong payload;
+//! - any truncation point yields `Eof` (empty) or `Truncated` (mid-frame).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+
+use dosco_net::codec::{decode_value, encode_value};
+use dosco_net::frame::{decode_frame, encode_frame, FrameError, HEADER_LEN};
+
+/// Generates an arbitrary value tree, including non-finite floats, signed
+/// zero, empty strings/containers, and non-ASCII text.
+fn gen_tree(rng: &mut StdRng, depth: usize) -> Value {
+    let pick = if depth == 0 {
+        rng.gen_range(0..7) // leaves only at max depth
+    } else {
+        rng.gen_range(0..9)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_range(0..2) == 1),
+        2 => Value::Int(rng.gen_range(i64::MIN..i64::MAX)),
+        3 => Value::UInt(rng.gen_range(0..u64::MAX)),
+        // Arbitrary bit patterns: subnormals, infinities, NaN payloads.
+        4 => Value::Float(f64::from_bits(rng.gen_range(0..u64::MAX))),
+        5 => Value::Str(gen_text(rng)),
+        6 => Value::Str(String::new()),
+        7 => {
+            let n = rng.gen_range(0..4);
+            Value::Array((0..n).map(|_| gen_tree(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..4);
+            Value::Object(
+                (0..n)
+                    .map(|i| (format!("k{i}_{}", gen_text(rng)), gen_tree(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn gen_text(rng: &mut StdRng) -> String {
+    let alphabet = ['a', 'Z', '0', ' ', 'é', '界', '\n', '"', '\\'];
+    let n = rng.gen_range(0..6);
+    (0..n)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+fn tree(max_depth: usize) -> impl Strategy<Value = Value> {
+    (0u64..u64::MAX).prop_map(move |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen_tree(&mut rng, max_depth)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode→decode→re-encode reproduces the exact payload bytes: the
+    /// wire representation is canonical and nothing (incl. NaN bits) is
+    /// lost in transit.
+    #[test]
+    fn codec_round_trip_is_bitwise(v in tree(4)) {
+        let mut encoded = Vec::new();
+        encode_value(&v, &mut encoded);
+        let decoded = decode_value(&encoded).expect("well-formed payload decodes");
+        let mut re_encoded = Vec::new();
+        encode_value(&decoded, &mut re_encoded);
+        prop_assert_eq!(&encoded, &re_encoded, "re-encode diverged");
+    }
+
+    /// Full frame (header + payload) round-trips and consumes exactly its
+    /// own bytes.
+    #[test]
+    fn frame_round_trip(v in tree(3)) {
+        let mut payload = Vec::new();
+        encode_value(&v, &mut payload);
+        let frame = encode_frame(&payload);
+        let (back, used) = decode_frame(&frame).expect("frame decodes");
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(back, payload);
+    }
+
+    /// Flipping any single byte of a frame produces a named error — the
+    /// checksum (or header validation) catches it; nothing panics and no
+    /// corrupted payload is ever returned as Ok.
+    #[test]
+    fn corrupt_byte_is_always_detected(v in tree(3), pos_seed in 0u64..u64::MAX, flip in 1u8..=255) {
+        let mut payload = Vec::new();
+        encode_value(&v, &mut payload);
+        let mut frame = encode_frame(&payload);
+        let pos = (pos_seed % frame.len() as u64) as usize;
+        frame[pos] ^= flip;
+        match decode_frame(&frame) {
+            Err(
+                FrameError::BadMagic(_)
+                | FrameError::TooLarge(_)
+                | FrameError::ChecksumMismatch { .. }
+                | FrameError::Truncated,
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error variant: {other}"),
+            Ok(_) => prop_assert!(false, "corrupted frame decoded as Ok"),
+        }
+    }
+
+    /// Every truncation point fails cleanly: empty input is `Eof`, a
+    /// partial frame is `Truncated`.
+    #[test]
+    fn truncation_is_always_detected(v in tree(3), cut_seed in 0u64..u64::MAX) {
+        let mut payload = Vec::new();
+        encode_value(&v, &mut payload);
+        let frame = encode_frame(&payload);
+        let cut = (cut_seed % frame.len() as u64) as usize; // strictly short
+        match decode_frame(&frame[..cut]) {
+            Err(FrameError::Eof) => prop_assert_eq!(cut, 0, "Eof only at a frame boundary"),
+            Err(FrameError::Truncated) => prop_assert!(cut > 0),
+            Err(other) => prop_assert!(false, "unexpected error variant: {other}"),
+            Ok(_) => prop_assert!(false, "short frame decoded as Ok"),
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the decoder (they may decode as
+    /// a valid frame only by forging the full header + checksum, which the
+    /// generator cannot do by chance).
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..96)) {
+        let _ = decode_frame(&bytes);
+        let _ = decode_value(&bytes);
+    }
+}
+
+#[test]
+fn header_is_sixteen_bytes() {
+    // The wire format is frozen: changing HEADER_LEN breaks cross-version
+    // interop and must be a deliberate protocol bump.
+    assert_eq!(HEADER_LEN, 16);
+    assert_eq!(encode_frame(&[]).len(), 16);
+}

@@ -24,17 +24,34 @@ pub enum CounterKind {
     ServeFallbacks,
     /// Policy hot-swaps broadcast to serving shards.
     ServeSwaps,
+    /// Frames written to a `dosco_net` socket transport.
+    NetFramesSent,
+    /// Frames read from a `dosco_net` socket transport.
+    NetFramesReceived,
+    /// Payload + header bytes written to a `dosco_net` socket transport.
+    NetBytesSent,
+    /// Payload + header bytes read from a `dosco_net` socket transport.
+    NetBytesReceived,
+    /// Socket-transport sends that found the bounded outbound queue full
+    /// (the net plane's backpressure signal, mirroring the runtime's
+    /// `channel_full_stalls`).
+    NetSocketStalls,
 }
 
 impl CounterKind {
     /// All counters, in report order.
-    pub const ALL: [CounterKind; 6] = [
+    pub const ALL: [CounterKind; 11] = [
         CounterKind::TraceEvents,
         CounterKind::EpisodesTraced,
         CounterKind::DecisionSamples,
         CounterKind::ServeDecisions,
         CounterKind::ServeFallbacks,
         CounterKind::ServeSwaps,
+        CounterKind::NetFramesSent,
+        CounterKind::NetFramesReceived,
+        CounterKind::NetBytesSent,
+        CounterKind::NetBytesReceived,
+        CounterKind::NetSocketStalls,
     ];
 
     /// Stable snake_case name used in reports.
@@ -46,6 +63,11 @@ impl CounterKind {
             CounterKind::ServeDecisions => "serve_decisions",
             CounterKind::ServeFallbacks => "serve_fallbacks",
             CounterKind::ServeSwaps => "serve_swaps",
+            CounterKind::NetFramesSent => "net_frames_sent",
+            CounterKind::NetFramesReceived => "net_frames_received",
+            CounterKind::NetBytesSent => "net_bytes_sent",
+            CounterKind::NetBytesReceived => "net_bytes_received",
+            CounterKind::NetSocketStalls => "net_socket_stalls",
         }
     }
 
@@ -179,11 +201,15 @@ pub enum SpanKind {
     ServeBatchForward,
     /// One serve decision end to end: request creation to action applied.
     ServeDecision,
+    /// Encoding one wire message (serde tree -> binary frame payload).
+    NetEncode,
+    /// Decoding one wire message (binary frame payload -> serde tree).
+    NetDecode,
 }
 
 impl SpanKind {
     /// All spans, in report order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 12] = [
         SpanKind::Gemm,
         SpanKind::KfacStats,
         SpanKind::KfacInversion,
@@ -194,6 +220,8 @@ impl SpanKind {
         SpanKind::SnapshotPublish,
         SpanKind::ServeBatchForward,
         SpanKind::ServeDecision,
+        SpanKind::NetEncode,
+        SpanKind::NetDecode,
     ];
 
     /// Stable snake_case name used in reports.
@@ -209,6 +237,8 @@ impl SpanKind {
             SpanKind::SnapshotPublish => "snapshot_publish",
             SpanKind::ServeBatchForward => "serve_batch_forward",
             SpanKind::ServeDecision => "serve_decision",
+            SpanKind::NetEncode => "net_encode",
+            SpanKind::NetDecode => "net_decode",
         }
     }
 
@@ -444,6 +474,10 @@ pub(crate) mod tests {
         assert_eq!(SpanKind::ServeDecision.name(), "serve_decision");
         assert_eq!(CounterKind::EpisodesTraced.name(), "episodes_traced");
         assert_eq!(CounterKind::ServeFallbacks.name(), "serve_fallbacks");
+        assert_eq!(CounterKind::NetBytesSent.name(), "net_bytes_sent");
+        assert_eq!(CounterKind::NetSocketStalls.name(), "net_socket_stalls");
+        assert_eq!(SpanKind::NetEncode.name(), "net_encode");
+        assert_eq!(SpanKind::NetDecode.name(), "net_decode");
         assert_eq!(GaugeKind::PeakLinkUtil.name(), "peak_link_util");
         assert_eq!(GaugeKind::PeakServeQueueDepth.name(), "peak_serve_queue_depth");
         assert_eq!(HistKind::NodeUtil.name(), "node_util");

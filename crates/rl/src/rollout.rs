@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 
 /// One collected mini-batch (`n_steps × n_envs` transitions, flattened
 /// time-major: index `t * n_envs + e`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Rollout {
     /// Observations (`B × obs_dim`).
     pub obs: Matrix,

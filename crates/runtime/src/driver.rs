@@ -4,20 +4,30 @@
 //! Thread topology of one [`train`] call:
 //!
 //! ```text
-//!  actor 0 ──┐  bounded MPSC (Batch)      ┌────────────┐
-//!  actor 1 ──┼──────────────────────────▶ │  learner   │
-//!  actor N ──┘                            │ (caller's  │
-//!      ▲                                  │  thread)   │
-//!      │   PolicySlot (Arc<PolicySnapshot>└────────────┘
-//!      └────────── versioned broadcast ◀────────┘
+//!  actor 0 ──┐  bounded Tx/Rx (ExperienceBatch) ┌────────────┐
+//!  actor 1 ──┼──────────────────────────────────▶│  learner   │
+//!  actor N ──┘                                   │ (caller's  │
+//!      ▲                                         │  thread)   │
+//!      │   PolicySlot (Arc<PolicySnapshot>)      └────────────┘
+//!      └────────── versioned broadcast ◀───────────────┘
 //! ```
+//!
+//! The channels are [`dosco_net`] transport channels: [`train`] wires the
+//! planes over [`InProcess`] (the original bounded crossbeam channels —
+//! bit-identical by construction), while [`train_with_transport`] accepts
+//! any [`Transport`] — e.g. `dosco_net::SocketLoopback`, which routes every
+//! batch through the framed binary codec over real TCP sockets, or the
+//! multi-process deployment in [`crate::remote`].
 //!
 //! Staleness is bounded by a stale-synchronous-parallel gate: every actor
 //! keeps a batch clock (completed sends), and before collecting it blocks
 //! until its clock is within [`RuntimeConfig::round_skew`] rounds of the
 //! slowest live actor. The learner additionally asserts, on every batch it
 //! consumes, that the batch's snapshot version lags its own by at most
-//! [`RuntimeConfig::max_staleness`].
+//! [`RuntimeConfig::max_staleness`]. (Socket transports buffer up to their
+//! stated capacity on *each* end plus whatever the kernel holds, so async
+//! deployments over sockets should budget `max_staleness` with headroom;
+//! sync mode is lockstep and unaffected.)
 //!
 //! Shutdown (normal or panicking) always follows the same sequence: close
 //! the slot and the clock gate (via a drop guard, so learner panics take
@@ -29,12 +39,15 @@ use crate::config::{Mode, RuntimeConfig};
 use crate::counters::{Counters, RuntimeReport};
 use crate::learner::{CollectParams, Learner};
 use crate::snapshot::{PolicySlot, PolicySnapshot};
-use crossbeam::channel::{bounded, Receiver, SendError, Sender, TrySendError};
+use crate::wire::{ExperienceBatch, SyncReply};
+use crossbeam::channel::{SendError, TrySendError};
+use dosco_net::{InProcess, Rx, Transport, Tx};
 use dosco_rl::a2c::TrainStats;
 use dosco_rl::env::Env;
 use dosco_rl::rollout::{Rollout, RolloutCollector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -45,15 +58,6 @@ pub struct RuntimeOutcome {
     pub stats: TrainStats,
     /// Runtime counters at shutdown.
     pub report: RuntimeReport,
-}
-
-/// One experience message from an actor to the learner.
-struct Batch {
-    rollout: Rollout,
-    /// Snapshot version the rollout was collected under.
-    version: u64,
-    /// Sync mode only: the circulating agent RNG.
-    rng: Option<StdRng>,
 }
 
 /// Per-actor batch clocks implementing the stale-synchronous-parallel
@@ -169,9 +173,9 @@ fn actor_loop(
     shared: &ActorShared<'_>,
     idx: usize,
     envs: &mut [Box<dyn Env>],
-    tx: &Sender<Batch>,
+    tx: &dyn Tx<ExperienceBatch>,
     mut rng_holder: Option<StdRng>,
-    ret_rx: Option<&Receiver<(Arc<PolicySnapshot>, StdRng)>>,
+    ret_rx: Option<&dyn Rx<SyncReply>>,
 ) -> Option<StdRng> {
     let circulate = ret_rx.is_some();
     let mut collector = RolloutCollector::new(envs);
@@ -203,7 +207,7 @@ fn actor_loop(
             rng_holder = Some(rng);
             None
         };
-        let msg = Batch {
+        let msg = ExperienceBatch {
             rollout,
             version: snap.version,
             rng: batch_rng,
@@ -241,9 +245,9 @@ fn actor_loop(
         shared.clocks.advance(idx);
         if let Some(ret) = ret_rx {
             match ret.recv() {
-                Ok((s, r)) => {
-                    snap = s;
-                    rng_holder = Some(r);
+                Ok(reply) => {
+                    snap = reply.snapshot;
+                    rng_holder = Some(reply.rng);
                 }
                 // Learner finished and kept the RNG.
                 Err(_) => return None,
@@ -252,12 +256,137 @@ fn actor_loop(
     }
 }
 
+/// The learner's consume→update→publish loop, shared verbatim by the
+/// in-process driver and the multi-process learner ([`crate::remote`]) so
+/// the two paths cannot drift arithmetically: transport and broadcast are
+/// injected (`rx`, `publish`, `reply`), everything numeric lives here.
+///
+/// `reply` carries the sync-mode lockstep response; it returns the RNG on
+/// failure (actor gone), which ends the loop. `cancel`, when set, stops
+/// the loop at the next batch boundary.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_learner_loop<L: Learner>(
+    learner: &mut L,
+    rx: &dyn Rx<ExperienceBatch>,
+    config: &RuntimeConfig,
+    total_steps: usize,
+    counters: &Counters,
+    final_rng: &mut Option<StdRng>,
+    cancel: Option<&AtomicBool>,
+    mut publish: impl FnMut(Arc<PolicySnapshot>),
+    mut reply: impl FnMut(Arc<PolicySnapshot>, StdRng) -> Result<(), StdRng>,
+) -> TrainStats {
+    let base_lr = learner.lr_schedule();
+    let mut stats = TrainStats::default();
+    let mut version = 0u64;
+    'learn: while stats.total_steps < total_steps {
+        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            break 'learn;
+        }
+        let mut merged: Option<Rollout> = None;
+        let mut circ_rng: Option<StdRng> = None;
+        for _ in 0..config.minibatch_batches {
+            let wait = Instant::now();
+            let received = rx.recv();
+            let ns = u64::try_from(wait.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            Counters::add_ns(&counters.recv_wait_ns, ns);
+            dosco_obs::registry::record_span_ns(dosco_obs::SpanKind::ChannelRecv, ns);
+            match received {
+                Ok(batch) => {
+                    Counters::inc(&counters.batches_consumed);
+                    let staleness = version - batch.version;
+                    counters.record_staleness(staleness);
+                    dosco_obs::registry::observe(
+                        dosco_obs::HistKind::Staleness,
+                        staleness as f64,
+                    );
+                    dosco_obs::emit(dosco_obs::Stream::learner(), || {
+                        dosco_obs::Event::BatchConsumed {
+                            version: batch.version,
+                            learner_version: version,
+                            staleness,
+                        }
+                    });
+                    assert!(
+                        staleness <= config.max_staleness,
+                        "staleness bound violated: batch from version {} consumed \
+                         at version {version} (bound {})",
+                        batch.version,
+                        config.max_staleness
+                    );
+                    if batch.rng.is_some() {
+                        circ_rng = batch.rng;
+                    }
+                    merged = Some(match merged {
+                        None => batch.rollout,
+                        Some(mut m) => {
+                            m.append(&batch.rollout);
+                            m
+                        }
+                    });
+                }
+                // Every actor exited (shutdown race or panic):
+                // update on what arrived, then stop.
+                Err(_) => break,
+            }
+        }
+        let Some(mut rollout) = merged else {
+            break 'learn;
+        };
+        if let Some(base) = base_lr {
+            // Replay the serial loops' linear decay to 10 %.
+            let frac = stats.total_steps as f32 / total_steps as f32;
+            learner.set_lr(base * (1.0 - 0.9 * frac));
+        }
+        {
+            let _span = dosco_obs::span(dosco_obs::SpanKind::LearnerUpdate);
+            let rng = circ_rng
+                .as_mut()
+                .or(final_rng.as_mut())
+                .expect("learner always has an update RNG");
+            learner.update_batch(&mut rollout, rng);
+        }
+        version += 1;
+        Counters::inc(&counters.snapshots_published);
+        stats.mean_rewards.push(rollout.mean_reward());
+        stats.total_steps += rollout.actions.len();
+        let publish_start = Instant::now();
+        let snap = Arc::new(PolicySnapshot {
+            version,
+            actor: learner.actor().clone(),
+            critic: learner.critic().clone(),
+        });
+        publish(Arc::clone(&snap));
+        let publish_ns = u64::try_from(publish_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Counters::add_ns(&counters.publish_ns, publish_ns);
+        dosco_obs::registry::record_span_ns(dosco_obs::SpanKind::SnapshotPublish, publish_ns);
+        dosco_obs::emit(dosco_obs::Stream::learner(), || {
+            dosco_obs::Event::SnapshotPublished {
+                version,
+                total_steps: stats.total_steps as u64,
+            }
+        });
+        if let Some(r) = circ_rng.take() {
+            // Sync lockstep: hand snapshot + RNG back — except after
+            // the final update, so the actor collects no extra batch.
+            if stats.total_steps >= total_steps {
+                *final_rng = Some(r);
+            } else if let Err(r) = reply(snap, r) {
+                *final_rng = Some(r);
+                break 'learn;
+            }
+        }
+    }
+    stats
+}
+
 /// Trains `learner` for (at least) `total_steps` environment transitions
-/// across `envs` using the actor–learner runtime. In [`Mode::Sync`] the
-/// result — trained weights, statistics, and the agent's RNG stream — is
-/// bit-identical to the algorithm's own serial `train` loop; in
-/// [`Mode::Async`] collection and learning overlap, with policy staleness
-/// bounded by [`RuntimeConfig::max_staleness`].
+/// across `envs` using the actor–learner runtime over the in-process
+/// transport. In [`Mode::Sync`] the result — trained weights, statistics,
+/// and the agent's RNG stream — is bit-identical to the algorithm's own
+/// serial `train` loop; in [`Mode::Async`] collection and learning
+/// overlap, with policy staleness bounded by
+/// [`RuntimeConfig::max_staleness`].
 ///
 /// # Panics
 ///
@@ -270,6 +399,62 @@ pub fn train<L: Learner>(
     total_steps: usize,
     config: &RuntimeConfig,
 ) -> RuntimeOutcome {
+    train_inner(learner, envs, total_steps, config, &InProcess, None)
+}
+
+/// [`train`] over an arbitrary [`Transport`]: every experience batch and
+/// sync-mode reply crosses a channel opened by `transport`, so e.g.
+/// `dosco_net::SocketLoopback` runs the identical dataflow through framed,
+/// checksummed TCP streams. With [`dosco_net::InProcess`] this *is*
+/// [`train`].
+///
+/// # Panics
+///
+/// As [`train`].
+pub fn train_with_transport<L, Tr>(
+    learner: &mut L,
+    envs: &mut [Box<dyn Env>],
+    total_steps: usize,
+    config: &RuntimeConfig,
+    transport: &Tr,
+) -> RuntimeOutcome
+where
+    L: Learner,
+    Tr: Transport<ExperienceBatch> + Transport<SyncReply>,
+{
+    train_inner(learner, envs, total_steps, config, transport, None)
+}
+
+/// [`train`] with a cooperative cancellation flag: setting `cancel` stops
+/// the learner at the next batch boundary, after which shutdown proceeds
+/// exactly as a normal completion (drain, join, RNG restore). Used by the
+/// `dosco_ctl` job-control surface.
+///
+/// # Panics
+///
+/// As [`train`].
+pub fn train_cancellable<L: Learner>(
+    learner: &mut L,
+    envs: &mut [Box<dyn Env>],
+    total_steps: usize,
+    config: &RuntimeConfig,
+    cancel: &AtomicBool,
+) -> RuntimeOutcome {
+    train_inner(learner, envs, total_steps, config, &InProcess, Some(cancel))
+}
+
+fn train_inner<L, Tr>(
+    learner: &mut L,
+    envs: &mut [Box<dyn Env>],
+    total_steps: usize,
+    config: &RuntimeConfig,
+    transport: &Tr,
+    cancel: Option<&AtomicBool>,
+) -> RuntimeOutcome
+where
+    L: Learner,
+    Tr: Transport<ExperienceBatch> + Transport<SyncReply>,
+{
     config.validate().expect("invalid runtime configuration");
     assert!(!envs.is_empty(), "need at least one environment");
 
@@ -279,7 +464,6 @@ pub fn train<L: Learner>(
     let n_actors = envs.len().div_ceil(shard);
     let params = learner.collect_params();
     let skew = if sync { 0 } else { config.round_skew() };
-    let base_lr = learner.lr_schedule();
 
     let counters = Counters::default();
     let clocks = Clocks::new(n_actors);
@@ -289,10 +473,10 @@ pub fn train<L: Learner>(
         critic: learner.critic().clone(),
     });
     let agent_rng = learner.take_rng();
-    let (tx, rx) = bounded::<Batch>(config.channel_capacity);
+    let (tx, rx) = Transport::<ExperienceBatch>::channel(transport, config.channel_capacity);
     // Sync-mode reply channel carrying (snapshot, RNG) back to the actor.
     let ret_pair = if sync {
-        let (t, r) = bounded::<(Arc<PolicySnapshot>, StdRng)>(1);
+        let (t, r) = Transport::<SyncReply>::channel(transport, 1);
         (Some(t), Some(r))
     } else {
         (None, None)
@@ -311,7 +495,7 @@ pub fn train<L: Learner>(
         let mut agent_rng_opt = Some(agent_rng);
         let mut handles = Vec::with_capacity(n_actors);
         for (idx, shard_envs) in envs.chunks_mut(shard).enumerate() {
-            let tx = tx.clone();
+            let tx = tx.clone_box();
             let rng = if sync {
                 agent_rng_opt.take().expect("sync mode runs one actor")
             } else {
@@ -328,129 +512,42 @@ pub fn train<L: Learner>(
                     clocks: shared.clocks,
                     idx,
                 };
-                actor_loop(shared, idx, shard_envs, &tx, Some(rng), ret_rx.as_ref())
+                actor_loop(shared, idx, shard_envs, tx.as_ref(), Some(rng), ret_rx.as_deref())
             }));
         }
         drop(tx); // channel disconnect now tracks the actors alone
 
-        let mut stats = TrainStats::default();
-        let mut version = 0u64;
         // Holds the agent RNG whenever neither an actor nor an in-flight
         // batch does: the whole stream in async mode, the post-final-update
         // stream in sync mode.
         let mut final_rng = agent_rng_opt;
+        let stats;
         {
             let _close = CloseGuard {
                 slot: &slot,
                 clocks: &clocks,
             };
-            'learn: while stats.total_steps < total_steps {
-                let mut merged: Option<Rollout> = None;
-                let mut circ_rng: Option<StdRng> = None;
-                for _ in 0..config.minibatch_batches {
-                    let wait = Instant::now();
-                    let received = rx.recv();
-                    let ns = u64::try_from(wait.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                    Counters::add_ns(&counters.recv_wait_ns, ns);
-                    dosco_obs::registry::record_span_ns(dosco_obs::SpanKind::ChannelRecv, ns);
-                    match received {
-                        Ok(batch) => {
-                            Counters::inc(&counters.batches_consumed);
-                            let staleness = version - batch.version;
-                            counters.record_staleness(staleness);
-                            dosco_obs::registry::observe(
-                                dosco_obs::HistKind::Staleness,
-                                staleness as f64,
-                            );
-                            dosco_obs::emit(dosco_obs::Stream::learner(), || {
-                                dosco_obs::Event::BatchConsumed {
-                                    version: batch.version,
-                                    learner_version: version,
-                                    staleness,
-                                }
-                            });
-                            assert!(
-                                staleness <= config.max_staleness,
-                                "staleness bound violated: batch from version {} consumed \
-                                 at version {version} (bound {})",
-                                batch.version,
-                                config.max_staleness
-                            );
-                            if batch.rng.is_some() {
-                                circ_rng = batch.rng;
-                            }
-                            merged = Some(match merged {
-                                None => batch.rollout,
-                                Some(mut m) => {
-                                    m.append(&batch.rollout);
-                                    m
-                                }
-                            });
-                        }
-                        // Every actor exited (shutdown race or panic):
-                        // update on what arrived, then stop.
-                        Err(_) => break,
-                    }
-                }
-                let Some(mut rollout) = merged else {
-                    break 'learn;
-                };
-                if let Some(base) = base_lr {
-                    // Replay the serial loops' linear decay to 10 %.
-                    let frac = stats.total_steps as f32 / total_steps as f32;
-                    learner.set_lr(base * (1.0 - 0.9 * frac));
-                }
-                {
-                    let _span = dosco_obs::span(dosco_obs::SpanKind::LearnerUpdate);
-                    let rng = circ_rng
-                        .as_mut()
-                        .or(final_rng.as_mut())
-                        .expect("learner always has an update RNG");
-                    learner.update_batch(&mut rollout, rng);
-                }
-                version += 1;
-                Counters::inc(&counters.snapshots_published);
-                stats.mean_rewards.push(rollout.mean_reward());
-                stats.total_steps += rollout.actions.len();
-                let publish_start = Instant::now();
-                let snap = Arc::new(PolicySnapshot {
-                    version,
-                    actor: learner.actor().clone(),
-                    critic: learner.critic().clone(),
-                });
-                slot.publish(Arc::clone(&snap));
-                let publish_ns =
-                    u64::try_from(publish_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                Counters::add_ns(&counters.publish_ns, publish_ns);
-                dosco_obs::registry::record_span_ns(
-                    dosco_obs::SpanKind::SnapshotPublish,
-                    publish_ns,
-                );
-                dosco_obs::emit(dosco_obs::Stream::learner(), || {
-                    dosco_obs::Event::SnapshotPublished {
-                        version,
-                        total_steps: stats.total_steps as u64,
-                    }
-                });
-                if let Some(r) = circ_rng.take() {
-                    // Sync lockstep: hand snapshot + RNG back — except after
-                    // the final update, so the actor collects no extra batch.
+            stats = run_learner_loop(
+                learner,
+                rx.as_ref(),
+                config,
+                total_steps,
+                &counters,
+                &mut final_rng,
+                cancel,
+                |snap| slot.publish(snap),
+                |snap, rng| {
                     let ret_tx = ret_tx_opt
                         .as_ref()
                         .expect("a circulating RNG implies sync mode");
-                    if stats.total_steps >= total_steps {
-                        final_rng = Some(r);
-                    } else {
-                        match ret_tx.send((snap, r)) {
-                            Ok(()) => {}
-                            Err(SendError((_, r))) => {
-                                final_rng = Some(r);
-                                break 'learn;
-                            }
-                        }
-                    }
-                }
-            }
+                    ret_tx
+                        .send(SyncReply {
+                            snapshot: snap,
+                            rng,
+                        })
+                        .map_err(|SendError(reply)| reply.rng)
+                },
+            );
             drop(ret_tx_opt); // unblock a sync actor waiting for its reply
         } // CloseGuard: slot + clock gate close (also on learner panic)
 

@@ -9,7 +9,7 @@ use dosco_rl::rollout::Rollout;
 use rand::rngs::StdRng;
 
 /// Collection hyperparameters the actors need from the algorithm.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CollectParams {
     /// Steps collected per env per batch.
     pub n_steps: usize,

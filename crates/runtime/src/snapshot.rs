@@ -7,7 +7,7 @@ use std::sync::{Arc, Mutex};
 /// One immutable, versioned copy of the learner's networks. Published by
 /// the learner after every update; actors pick the latest up at batch
 /// boundaries and collect whole rollouts under one snapshot.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PolicySnapshot {
     /// Monotonically increasing version: the number of learner updates
     /// applied before this snapshot was taken (0 = initial parameters).

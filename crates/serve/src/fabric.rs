@@ -29,15 +29,16 @@ use crate::shard::{
     run_shard, shard_of, DecisionRequest, DecisionResponse, ShardMsg, ShardWorker,
 };
 use crate::status::{FabricStatus, ShardStatus, StatusBoard};
-use crossbeam::channel::{self, Sender};
 use crossbeam::thread::{Scope, ScopedJoinHandle};
 use dosco_core::policy::PolicyMetadata;
 use dosco_core::CoordinationPolicy;
+use dosco_net::{BoxTx, InProcess, Rx, Transport};
 use dosco_obs::registry;
 use dosco_obs::{CounterKind, SpanKind};
 use dosco_runtime::{PolicySlot, PolicySnapshot};
 use dosco_simnet::{Action, Metrics, ScenarioConfig, Simulation};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,6 +64,11 @@ pub struct ServeConfig {
     /// every epoch boundary. `None` (the default) costs one `Option`
     /// check per epoch.
     pub status: Option<Arc<StatusBoard>>,
+    /// Cooperative cancellation flag, checked at every epoch boundary:
+    /// once set, the fabric shuts down gracefully (shards join, every
+    /// applied decision stays accounted) and returns the partial outcome.
+    /// `None` (the default) costs one `Option` check per epoch.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 /// Attachments compare by identity: two configs are equal when they
@@ -82,6 +88,7 @@ impl PartialEq for ServeConfig {
             && self.faults == other.faults
             && same(&self.control, &other.control)
             && same(&self.status, &other.status)
+            && same(&self.cancel, &other.cancel)
     }
 }
 
@@ -97,6 +104,7 @@ impl ServeConfig {
             faults: FaultScript::new(),
             control: None,
             status: None,
+            cancel: None,
         }
     }
 
@@ -111,6 +119,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_status(mut self, status: Arc<StatusBoard>) -> Self {
         self.status = Some(status);
+        self
+    }
+
+    /// Attaches a cooperative cancellation flag.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -215,12 +230,14 @@ fn policy_from_snapshot(snap: &PolicySnapshot, degree: usize) -> CoordinationPol
 }
 
 /// One shard as the frontend sees it.
-struct ShardHandle<'scope> {
+pub(crate) struct ShardHandle<'scope> {
     /// Mailbox sender; `None` while the shard is killed.
-    tx: Option<Sender<ShardMsg>>,
-    join: Option<ScopedJoinHandle<'scope, ()>>,
+    pub(crate) tx: Option<BoxTx<ShardMsg>>,
+    /// Worker thread for locally-launched shards; `None` for shards that
+    /// live in another process (their lifecycle is the connection's).
+    pub(crate) join: Option<ScopedJoinHandle<'scope, ()>>,
     /// Policy version last delivered to this shard.
-    version: u64,
+    pub(crate) version: u64,
 }
 
 impl ShardHandle<'_> {
@@ -229,35 +246,61 @@ impl ShardHandle<'_> {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn spawn_shard<'scope, 'env>(
-    s: &Scope<'scope, 'env>,
-    index: usize,
+/// How the frontend brings shard `index` up with a starting policy:
+/// locally (spawn a worker thread over a transport channel) or remotely
+/// (hand an accepted connection its `ShardInit`). The epoch loop is
+/// launcher-agnostic — this is what keeps the in-process, loopback-TCP,
+/// and multi-process serve paths on the *same* decision arithmetic.
+pub(crate) trait ShardLauncher<'scope> {
+    fn launch(
+        &mut self,
+        index: usize,
+        policy: Arc<CoordinationPolicy>,
+        version: u64,
+    ) -> ShardHandle<'scope>;
+}
+
+/// Launches shard workers on scoped threads, wired over any transport.
+struct LocalLauncher<'a, 'scope, 'env, Tr> {
+    scope: &'a Scope<'scope, 'env>,
+    transport: &'a Tr,
+    cfg: &'a ServeConfig,
     num_shards: usize,
     num_nodes: usize,
-    cfg: &ServeConfig,
-    policy: Arc<CoordinationPolicy>,
-    version: u64,
-    responses: Sender<Vec<DecisionResponse>>,
-) -> ShardHandle<'scope> {
-    let (tx, rx) = channel::bounded(cfg.mailbox_capacity);
-    let stochastic_seed = cfg.stochastic_seed;
-    let join = s.spawn(move |_| {
-        run_shard(ShardWorker {
-            index,
-            num_shards,
-            num_nodes,
-            stochastic_seed,
-            policy,
-            version,
-            mailbox: rx,
-            responses,
+    resp_tx: &'a BoxTx<Vec<DecisionResponse>>,
+}
+
+impl<'scope, Tr> ShardLauncher<'scope> for LocalLauncher<'_, 'scope, '_, Tr>
+where
+    Tr: Transport<ShardMsg> + Transport<Vec<DecisionResponse>>,
+{
+    fn launch(
+        &mut self,
+        index: usize,
+        policy: Arc<CoordinationPolicy>,
+        version: u64,
+    ) -> ShardHandle<'scope> {
+        let (tx, rx) = Transport::<ShardMsg>::channel(self.transport, self.cfg.mailbox_capacity);
+        let responses = self.resp_tx.clone_box();
+        let stochastic_seed = self.cfg.stochastic_seed;
+        let (num_shards, num_nodes) = (self.num_shards, self.num_nodes);
+        let join = self.scope.spawn(move |_| {
+            run_shard(ShardWorker {
+                index,
+                num_shards,
+                num_nodes,
+                stochastic_seed,
+                policy,
+                version,
+                mailbox: rx,
+                responses,
+            });
         });
-    });
-    ShardHandle {
-        tx: Some(tx),
-        join: Some(join),
-        version,
+        ShardHandle {
+            tx: Some(tx),
+            join: Some(join),
+            version,
+        }
     }
 }
 
@@ -308,19 +351,96 @@ pub fn serve_with(
     scenario: &ScenarioConfig,
     episode_seeds: &[u64],
     cfg: &ServeConfig,
-    mut on_epoch: impl FnMut(u64),
+    on_epoch: impl FnMut(u64),
 ) -> ServeOutcome {
+    serve_with_transport(policy, hub, scenario, episode_seeds, cfg, &InProcess, on_epoch)
+}
+
+/// Like [`serve_with`], but every mailbox and response channel is opened
+/// by `transport`: with [`InProcess`] this *is* [`serve_with`]; with
+/// `dosco_net::SocketLoopback` every request, flush barrier, swap, and
+/// response crosses a framed, checksummed TCP stream — and the served
+/// decisions are bit-identical (pinned by test). The truly multi-process
+/// deployment (shards in other OS processes) is [`crate::remote`], built
+/// on the same epoch loop.
+///
+/// # Panics
+///
+/// As [`serve_with`].
+pub fn serve_with_transport<Tr>(
+    policy: &CoordinationPolicy,
+    hub: Option<&PolicySlot>,
+    scenario: &ScenarioConfig,
+    episode_seeds: &[u64],
+    cfg: &ServeConfig,
+    transport: &Tr,
+    mut on_epoch: impl FnMut(u64),
+) -> ServeOutcome
+where
+    Tr: Transport<ShardMsg> + Transport<Vec<DecisionResponse>>,
+{
     cfg.validate().expect("serve configuration must be valid");
     assert!(!episode_seeds.is_empty(), "need at least one episode");
     let num_nodes = scenario.topology.num_nodes();
     let num_shards = cfg.num_shards.min(num_nodes);
-    let degree = policy.degree();
-    let adapter = policy.adapter();
 
     let mut sims: Vec<Simulation> = episode_seeds
         .iter()
         .map(|&s| Simulation::new(scenario.clone(), s))
         .collect();
+
+    let (resp_tx, resp_rx) = Transport::<Vec<DecisionResponse>>::channel(transport, num_shards + 1);
+
+    let (metrics, report) = crossbeam::thread::scope(|s| {
+        let mut launcher = LocalLauncher {
+            scope: s,
+            transport,
+            cfg,
+            num_shards,
+            num_nodes,
+            resp_tx: &resp_tx,
+        };
+        serve_core(
+            policy,
+            hub,
+            &mut sims,
+            num_shards,
+            cfg,
+            &mut launcher,
+            resp_rx.as_ref(),
+            &mut on_epoch,
+        )
+    })
+    .expect("serve scope");
+
+    assert!(
+        report.conserved(),
+        "decision conservation violated: {} != {} batched + {} fallback",
+        report.decisions,
+        report.batched_decisions,
+        report.fallback_decisions
+    );
+    ServeOutcome { metrics, report }
+}
+
+/// The launcher-agnostic epoch loop (see module docs for the four
+/// phases). Shared verbatim by every serve entry point — in-process,
+/// loopback-TCP, and multi-process — so transport and process topology
+/// cannot change decision arithmetic.
+#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn serve_core<'scope>(
+    policy: &CoordinationPolicy,
+    hub: Option<&PolicySlot>,
+    sims: &mut [Simulation],
+    num_shards: usize,
+    cfg: &ServeConfig,
+    launcher: &mut dyn ShardLauncher<'scope>,
+    resp_rx: &dyn Rx<Vec<DecisionResponse>>,
+    on_epoch: &mut dyn FnMut(u64),
+) -> (Vec<Metrics>, ServeReport) {
+    let degree = policy.degree();
+    let adapter = policy.adapter();
     let episodes = sims.len();
 
     // The policy being served: the hub's latest snapshot when attached,
@@ -333,302 +453,278 @@ pub fn serve_with(
         None => (Arc::new(policy.clone()), 0),
     };
 
-    let (resp_tx, resp_rx) = channel::bounded::<Vec<DecisionResponse>>(num_shards + 1);
+    let mut shards: Vec<ShardHandle> = (0..num_shards)
+        .map(|i| launcher.launch(i, Arc::clone(&current), current_version))
+        .collect();
 
-    let (metrics, report) = crossbeam::thread::scope(|s| {
-        let mut shards: Vec<ShardHandle> = (0..num_shards)
-            .map(|i| {
-                spawn_shard(
-                    s,
-                    i,
-                    num_shards,
-                    num_nodes,
-                    cfg,
-                    Arc::clone(&current),
-                    current_version,
-                    resp_tx.clone(),
-                )
-            })
-            .collect();
+    let mut report = ServeReport::default();
+    let mut by_version: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut live = vec![true; episodes];
+    let mut actions: Vec<Option<Action>> = vec![None; episodes];
+    let mut starts: Vec<Option<Instant>> = vec![None; episodes];
+    let mut routed = vec![false; num_shards];
+    let mut events_scratch = Vec::new();
+    let mut shard_batched = vec![0u64; num_shards];
+    let mut shard_fallback = vec![0u64; num_shards];
+    // The policy each shard *should* run. Hub publishes and All-scope
+    // directives set every entry; targeted directives set a subset —
+    // respawns and lag re-syncs always converge a shard onto its own
+    // entry, so a killed canary shard comes back as a canary.
+    let mut desired: Vec<(Arc<CoordinationPolicy>, u64)> =
+        vec![(Arc::clone(&current), current_version); num_shards];
+    let mut next_id: u64 = 0;
+    let mut epoch: u64 = 0;
 
-        let mut report = ServeReport::default();
-        let mut by_version: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut live = vec![true; episodes];
-        let mut actions: Vec<Option<Action>> = vec![None; episodes];
-        let mut starts: Vec<Option<Instant>> = vec![None; episodes];
-        let mut routed = vec![false; num_shards];
-        let mut events_scratch = Vec::new();
-        let mut shard_batched = vec![0u64; num_shards];
-        let mut shard_fallback = vec![0u64; num_shards];
-        // The policy each shard *should* run. Hub publishes and All-scope
-        // directives set every entry; targeted directives set a subset —
-        // respawns and lag re-syncs always converge a shard onto its own
-        // entry, so a killed canary shard comes back as a canary.
-        let mut desired: Vec<(Arc<CoordinationPolicy>, u64)> =
-            vec![(Arc::clone(&current), current_version); num_shards];
-        let mut next_id: u64 = 0;
-        let mut epoch: u64 = 0;
+    loop {
+        if cfg
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+        {
+            epoch += 1;
+            break;
+        }
+        on_epoch(epoch);
 
-        loop {
-            on_epoch(epoch);
-
-            // -- Epoch-boundary work: hot-swap poll, control directives,
-            // fault transitions.
-            if let Some(h) = hub {
-                if h.version() != current_version {
-                    let snap = h.latest();
-                    current = Arc::new(policy_from_snapshot(&snap, degree));
-                    current_version = snap.version;
-                    desired.fill((Arc::clone(&current), current_version));
-                    report.swaps += 1;
-                    registry::count(CounterKind::ServeSwaps, 1);
-                }
+        // -- Epoch-boundary work: hot-swap poll, control directives,
+        // fault transitions.
+        if let Some(h) = hub {
+            if h.version() != current_version {
+                let snap = h.latest();
+                current = Arc::new(policy_from_snapshot(&snap, degree));
+                current_version = snap.version;
+                desired.fill((Arc::clone(&current), current_version));
+                report.swaps += 1;
+                registry::count(CounterKind::ServeSwaps, 1);
             }
-            if let Some(q) = cfg.control.as_ref() {
-                if q.is_pending() {
-                    for cmd in q.drain() {
-                        let policy = Arc::new(policy_from_snapshot(&cmd.snapshot, degree));
-                        let version = cmd.snapshot.version;
-                        match &cmd.scope {
-                            PublishScope::All => {
-                                current = Arc::clone(&policy);
-                                current_version = version;
-                                desired.fill((Arc::clone(&policy), version));
-                            }
-                            PublishScope::Shards(targets) => {
-                                for &t in targets {
-                                    if t < num_shards {
-                                        desired[t] = (Arc::clone(&policy), version);
-                                    }
+        }
+        if let Some(q) = cfg.control.as_ref() {
+            if q.is_pending() {
+                for cmd in q.drain() {
+                    let policy = Arc::new(policy_from_snapshot(&cmd.snapshot, degree));
+                    let version = cmd.snapshot.version;
+                    match &cmd.scope {
+                        PublishScope::All => {
+                            // `desired` is the source of truth for swaps
+                            // and respawns; `current` itself is only read
+                            // when rebuilt from a hub snapshot.
+                            current_version = version;
+                            desired.fill((Arc::clone(&policy), version));
+                        }
+                        PublishScope::Shards(targets) => {
+                            for &t in targets {
+                                if t < num_shards {
+                                    desired[t] = (Arc::clone(&policy), version);
                                 }
                             }
                         }
-                        report.directed_publishes += 1;
                     }
+                    report.directed_publishes += 1;
                 }
             }
-            let states: Vec<Option<FaultKind>> =
-                (0..num_shards).map(|i| cfg.faults.state(i, epoch)).collect();
-            for i in 0..num_shards {
-                let h = &mut shards[i];
-                if states[i] == Some(FaultKind::Kill) && h.alive() {
-                    // Window start: take the worker down for real.
-                    let tx = h.tx.take().expect("alive shard has a mailbox");
-                    let _ = tx.send(ShardMsg::Shutdown);
-                    drop(tx);
-                    join_shard(h);
-                    report.shard_kills += 1;
-                } else if states[i].is_none() {
-                    let (want, want_version) = &desired[i];
-                    if !h.alive() {
-                        // Window end: respawn, re-synced to the shard's
-                        // desired policy (fresh mailbox, fresh state).
-                        *h = spawn_shard(
-                            s,
-                            i,
-                            num_shards,
-                            num_nodes,
-                            cfg,
-                            Arc::clone(want),
-                            *want_version,
-                            resp_tx.clone(),
-                        );
-                        report.shard_respawns += 1;
-                    } else if h.version != *want_version {
-                        // Reachable shard lagging its desired policy:
-                        // deliver the swap at this boundary (covers the
-                        // global broadcast, targeted publishes, rollback
-                        // republishes, and post-delay re-sync).
-                        let tx = h.tx.as_ref().expect("alive shard has a mailbox");
-                        tx.send(ShardMsg::Swap {
-                            policy: Arc::clone(want),
-                            version: *want_version,
-                        })
-                        .expect("shard mailbox open");
-                        h.version = *want_version;
-                    }
-                }
-            }
-
-            // -- Status publish: one snapshot per boundary, only when a
-            // board is attached (detached fabrics skip in one branch).
-            if let Some(board) = cfg.status.as_ref() {
-                let mut arrived = 0;
-                let mut completed = 0;
-                let mut dropped = 0;
-                for sim in &sims {
-                    let m = sim.metrics();
-                    arrived += m.arrived;
-                    completed += m.completed;
-                    dropped += m.dropped_total();
-                }
-                board.publish(FabricStatus {
-                    epoch,
-                    live_episodes: live.iter().filter(|&&l| l).count() as u64,
-                    decisions: report.decisions,
-                    swaps: report.swaps,
-                    directed_publishes: report.directed_publishes,
-                    current_version,
-                    shards: shards
-                        .iter()
-                        .enumerate()
-                        .map(|(i, h)| ShardStatus {
-                            shard: i,
-                            alive: h.alive(),
-                            version: h.version,
-                            batched_decisions: shard_batched[i],
-                            fallback_decisions: shard_fallback[i],
-                        })
-                        .collect(),
-                    decisions_by_version: by_version.iter().map(|(&v, &n)| (v, n)).collect(),
-                    flows_arrived: arrived,
-                    flows_completed: completed,
-                    flows_dropped: dropped,
-                });
-            }
-
-            // -- Collect one pending decision per live episode.
-            let spans_on = dosco_obs::spans_enabled();
-            let mut expected = 0usize;
-            let mut fell_back = 0u64;
-            routed.fill(false);
-            for e in 0..episodes {
-                if !live[e] {
-                    continue;
-                }
-                let sim = &mut sims[e];
-                // Coordinator events are dropped, as the in-process
-                // deployment's no-op `observe` does. Drained into a
-                // recycled scratch buffer: no per-epoch allocation.
-                sim.drain_events_into(&mut events_scratch);
-                let Some(dp) = sim.next_decision() else {
-                    live[e] = false;
-                    continue;
-                };
-                if spans_on {
-                    starts[e] = Some(Instant::now());
-                }
-                let owner = shard_of(dp.node.0, num_shards);
-                if states[owner].is_some() || !shards[owner].alive() {
-                    // Graceful degradation: the decision is answered now
-                    // by shortest-path coordination and counted — never
-                    // silently dropped.
-                    actions[e] = Some(dosco_baselines::sp_action(sim, &dp));
-                    report.fallback_decisions += 1;
-                    shard_fallback[owner] += 1;
-                    fell_back += 1;
-                    registry::count(CounterKind::ServeFallbacks, 1);
-                } else {
-                    let obs = adapter.observe(sim, &dp);
-                    let tx = shards[owner].tx.as_ref().expect("alive shard has a mailbox");
-                    tx.send(ShardMsg::Request(DecisionRequest {
-                        id: next_id,
-                        episode: e,
-                        node: dp.node,
-                        obs,
-                    }))
-                    .expect("shard mailbox open");
-                    next_id += 1;
-                    expected += 1;
-                    routed[owner] = true;
-                }
-            }
-            if expected == 0 && fell_back == 0 {
-                // Every episode reached its horizon.
-                epoch += 1;
-                break;
-            }
-
-            // -- Flush barriers, then gather one answer batch per routed
-            // shard (exactly `expected` responses in total).
-            let routed_shards = routed.iter().filter(|&&r| r).count();
-            for (i, shard) in shards.iter().enumerate() {
-                if routed[i] {
-                    let tx = shard.tx.as_ref().expect("routed shard is alive");
-                    tx.send(ShardMsg::Flush { epoch }).expect("shard mailbox open");
-                }
-            }
-            let mut received = 0usize;
-            for _ in 0..routed_shards {
-                let answers = resp_rx.recv().expect("shard answered its barrier");
-                received += answers.len();
-                for resp in answers {
-                    actions[resp.episode] = Some(Action::from_index(resp.action_index));
-                    *by_version.entry(resp.version).or_insert(0) += 1;
-                    report.batched_decisions += 1;
-                    shard_batched[resp.shard] += 1;
-                    report.max_batch_rows = report.max_batch_rows.max(resp.batch_rows as u64);
-                }
-            }
-            debug_assert_eq!(received, expected, "every routed request answered once");
-
-            // -- Apply in episode order.
-            for e in 0..episodes {
-                if let Some(a) = actions[e].take() {
-                    sims[e].apply(a);
-                    report.decisions += 1;
-                    registry::count(CounterKind::ServeDecisions, 1);
-                    if let Some(t0) = starts[e].take() {
-                        registry::record_span_ns(
-                            SpanKind::ServeDecision,
-                            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                        );
-                    }
-                }
-            }
-            epoch += 1;
         }
-
-        // -- Graceful shutdown: barrier-free mailboxes are empty here.
-        for h in &mut shards {
-            if let Some(tx) = h.tx.take() {
+        let states: Vec<Option<FaultKind>> =
+            (0..num_shards).map(|i| cfg.faults.state(i, epoch)).collect();
+        for i in 0..num_shards {
+            let h = &mut shards[i];
+            if states[i] == Some(FaultKind::Kill) && h.alive() {
+                // Window start: take the worker down for real.
+                let tx = h.tx.take().expect("alive shard has a mailbox");
                 let _ = tx.send(ShardMsg::Shutdown);
+                drop(tx);
+                join_shard(h);
+                report.shard_kills += 1;
+            } else if states[i].is_none() {
+                let (want, want_version) = &desired[i];
+                if !h.alive() {
+                    // Window end: respawn, re-synced to the shard's
+                    // desired policy (fresh mailbox, fresh state).
+                    *h = launcher.launch(i, Arc::clone(want), *want_version);
+                    report.shard_respawns += 1;
+                } else if h.version != *want_version {
+                    // Reachable shard lagging its desired policy:
+                    // deliver the swap at this boundary (covers the
+                    // global broadcast, targeted publishes, rollback
+                    // republishes, and post-delay re-sync).
+                    let tx = h.tx.as_ref().expect("alive shard has a mailbox");
+                    tx.send(ShardMsg::Swap {
+                        policy: Arc::clone(want),
+                        version: *want_version,
+                    })
+                    .expect("shard mailbox open");
+                    h.version = *want_version;
+                }
             }
         }
-        for h in &mut shards {
-            join_shard(h);
-        }
 
-        report.epochs = epoch;
-        report.final_version = current_version;
-        report.shard_versions = shards.iter().map(|h| h.version).collect();
-        report.shard_batched = shard_batched;
-        report.shard_fallback = shard_fallback;
-        report.decisions_by_version = by_version.into_iter().collect();
-        let metrics: Vec<Metrics> = sims.iter().map(|sim| sim.metrics().clone()).collect();
-
-        // Final status so post-run snapshots show the completed totals.
+        // -- Status publish: one snapshot per boundary, only when a
+        // board is attached (detached fabrics skip in one branch).
         if let Some(board) = cfg.status.as_ref() {
-            let mut status = board.snapshot();
-            status.epoch = report.epochs;
-            status.live_episodes = 0;
-            status.decisions = report.decisions;
-            status.swaps = report.swaps;
-            status.directed_publishes = report.directed_publishes;
-            status.current_version = report.final_version;
-            for (i, st) in status.shards.iter_mut().enumerate() {
-                st.batched_decisions = report.shard_batched[i];
-                st.fallback_decisions = report.shard_fallback[i];
-                st.version = report.shard_versions[i];
+            let mut arrived = 0;
+            let mut completed = 0;
+            let mut dropped = 0;
+            for sim in sims.iter() {
+                let m = sim.metrics();
+                arrived += m.arrived;
+                completed += m.completed;
+                dropped += m.dropped_total();
             }
-            status.decisions_by_version = report.decisions_by_version.clone();
-            status.flows_arrived = metrics.iter().map(|m| m.arrived).sum();
-            status.flows_completed = metrics.iter().map(|m| m.completed).sum();
-            status.flows_dropped = metrics.iter().map(|m| m.dropped_total()).sum();
-            board.publish(status);
+            board.publish(FabricStatus {
+                epoch,
+                live_episodes: live.iter().filter(|&&l| l).count() as u64,
+                decisions: report.decisions,
+                swaps: report.swaps,
+                directed_publishes: report.directed_publishes,
+                current_version,
+                shards: shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, h)| ShardStatus {
+                        shard: i,
+                        alive: h.alive(),
+                        version: h.version,
+                        batched_decisions: shard_batched[i],
+                        fallback_decisions: shard_fallback[i],
+                    })
+                    .collect(),
+                decisions_by_version: by_version.iter().map(|(&v, &n)| (v, n)).collect(),
+                flows_arrived: arrived,
+                flows_completed: completed,
+                flows_dropped: dropped,
+            });
         }
-        (metrics, report)
-    })
-    .expect("serve scope");
 
-    assert!(
-        report.conserved(),
-        "decision conservation violated: {} != {} batched + {} fallback",
-        report.decisions,
-        report.batched_decisions,
-        report.fallback_decisions
-    );
-    ServeOutcome { metrics, report }
+        // -- Collect one pending decision per live episode.
+        let spans_on = dosco_obs::spans_enabled();
+        let mut expected = 0usize;
+        let mut fell_back = 0u64;
+        routed.fill(false);
+        for e in 0..episodes {
+            if !live[e] {
+                continue;
+            }
+            let sim = &mut sims[e];
+            // Coordinator events are dropped, as the in-process
+            // deployment's no-op `observe` does. Drained into a
+            // recycled scratch buffer: no per-epoch allocation.
+            sim.drain_events_into(&mut events_scratch);
+            let Some(dp) = sim.next_decision() else {
+                live[e] = false;
+                continue;
+            };
+            if spans_on {
+                starts[e] = Some(Instant::now());
+            }
+            let owner = shard_of(dp.node.0, num_shards);
+            if states[owner].is_some() || !shards[owner].alive() {
+                // Graceful degradation: the decision is answered now
+                // by shortest-path coordination and counted — never
+                // silently dropped.
+                actions[e] = Some(dosco_baselines::sp_action(sim, &dp));
+                report.fallback_decisions += 1;
+                shard_fallback[owner] += 1;
+                fell_back += 1;
+                registry::count(CounterKind::ServeFallbacks, 1);
+            } else {
+                let obs = adapter.observe(sim, &dp);
+                let tx = shards[owner].tx.as_ref().expect("alive shard has a mailbox");
+                tx.send(ShardMsg::Request(DecisionRequest {
+                    id: next_id,
+                    episode: e,
+                    node: dp.node,
+                    obs,
+                }))
+                .expect("shard mailbox open");
+                next_id += 1;
+                expected += 1;
+                routed[owner] = true;
+            }
+        }
+        if expected == 0 && fell_back == 0 {
+            // Every episode reached its horizon.
+            epoch += 1;
+            break;
+        }
+
+        // -- Flush barriers, then gather one answer batch per routed
+        // shard (exactly `expected` responses in total).
+        let routed_shards = routed.iter().filter(|&&r| r).count();
+        for (i, shard) in shards.iter().enumerate() {
+            if routed[i] {
+                let tx = shard.tx.as_ref().expect("routed shard is alive");
+                tx.send(ShardMsg::Flush { epoch }).expect("shard mailbox open");
+            }
+        }
+        let mut received = 0usize;
+        for _ in 0..routed_shards {
+            let answers = resp_rx.recv().expect("shard answered its barrier");
+            received += answers.len();
+            for resp in answers {
+                actions[resp.episode] = Some(Action::from_index(resp.action_index));
+                *by_version.entry(resp.version).or_insert(0) += 1;
+                report.batched_decisions += 1;
+                shard_batched[resp.shard] += 1;
+                report.max_batch_rows = report.max_batch_rows.max(resp.batch_rows as u64);
+            }
+        }
+        debug_assert_eq!(received, expected, "every routed request answered once");
+
+        // -- Apply in episode order.
+        for e in 0..episodes {
+            if let Some(a) = actions[e].take() {
+                sims[e].apply(a);
+                report.decisions += 1;
+                registry::count(CounterKind::ServeDecisions, 1);
+                if let Some(t0) = starts[e].take() {
+                    registry::record_span_ns(
+                        SpanKind::ServeDecision,
+                        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                }
+            }
+        }
+        epoch += 1;
+    }
+
+    // -- Graceful shutdown: barrier-free mailboxes are empty here.
+    for h in &mut shards {
+        if let Some(tx) = h.tx.take() {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+    }
+    for h in &mut shards {
+        join_shard(h);
+    }
+
+    report.epochs = epoch;
+    report.final_version = current_version;
+    report.shard_versions = shards.iter().map(|h| h.version).collect();
+    report.shard_batched = shard_batched;
+    report.shard_fallback = shard_fallback;
+    report.decisions_by_version = by_version.into_iter().collect();
+    let metrics: Vec<Metrics> = sims.iter().map(|sim| sim.metrics().clone()).collect();
+
+    // Final status so post-run snapshots show the completed totals.
+    if let Some(board) = cfg.status.as_ref() {
+        let mut status = board.snapshot();
+        status.epoch = report.epochs;
+        status.live_episodes = 0;
+        status.decisions = report.decisions;
+        status.swaps = report.swaps;
+        status.directed_publishes = report.directed_publishes;
+        status.current_version = report.final_version;
+        for (i, st) in status.shards.iter_mut().enumerate() {
+            st.batched_decisions = report.shard_batched[i];
+            st.fallback_decisions = report.shard_fallback[i];
+            st.version = report.shard_versions[i];
+        }
+        status.decisions_by_version = report.decisions_by_version.clone();
+        status.flows_arrived = metrics.iter().map(|m| m.arrived).sum();
+        status.flows_completed = metrics.iter().map(|m| m.completed).sum();
+        status.flows_dropped = metrics.iter().map(|m| m.dropped_total()).sum();
+        board.publish(status);
+    }
+    (metrics, report)
 }
 
 #[cfg(test)]

@@ -42,11 +42,13 @@
 pub mod control;
 pub mod fabric;
 pub mod fault;
+pub mod remote;
 pub mod shard;
 pub mod status;
 
 pub use control::{ControlQueue, PublishCmd, PublishScope};
-pub use fabric::{serve, serve_with, ServeConfig, ServeOutcome, ServeReport};
+pub use fabric::{serve, serve_with, serve_with_transport, ServeConfig, ServeOutcome, ServeReport};
 pub use fault::{FaultKind, FaultScript, FaultWindow};
+pub use remote::{run_remote_shard, FrontendServer, ShardInit};
 pub use shard::{shard_of, DecisionRequest, DecisionResponse, ShardMsg};
 pub use status::{FabricStatus, ShardStatus, StatusBoard};

@@ -10,8 +10,8 @@
 //! are bitwise identical to per-decision forwards — batching changes
 //! latency, never decisions.
 
-use crossbeam::channel::{Receiver, Sender};
 use dosco_core::{per_node_seed, CoordinationPolicy};
+use dosco_net::{BoxRx, BoxTx};
 use dosco_nn::matrix::Matrix;
 use dosco_nn::Categorical;
 use dosco_obs::registry;
@@ -19,6 +19,7 @@ use dosco_obs::{GaugeKind, HistKind, SpanKind};
 use dosco_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// The shard owning `node`: a round-robin partition (`node mod
@@ -31,8 +32,9 @@ pub fn shard_of(node: usize, num_shards: usize) -> usize {
     node % num_shards
 }
 
-/// One decision request routed to a shard.
-#[derive(Debug, Clone)]
+/// One decision request routed to a shard. Serializable so the mailbox
+/// can be a `dosco_net` socket channel (a remote shard process).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DecisionRequest {
     /// Globally monotonic request id — defines the deterministic batch
     /// order and the order of per-node RNG draws.
@@ -48,7 +50,7 @@ pub struct DecisionRequest {
 /// The shard mailbox protocol. Messages are FIFO per sender; the
 /// frontend is the only producer, so a shard sees requests in id order
 /// and swaps exactly at the epoch boundary they were broadcast.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub enum ShardMsg {
     /// Queue a decision request for the next flush.
     Request(DecisionRequest),
@@ -71,7 +73,7 @@ pub enum ShardMsg {
 }
 
 /// A shard's answer to one request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecisionResponse {
     /// The request id being answered.
     pub id: u64,
@@ -88,10 +90,11 @@ pub struct DecisionResponse {
     pub batch_rows: usize,
 }
 
-/// Everything a shard worker thread owns. Responses travel as one
-/// `Vec` per flush — a single channel hand-off per shard per epoch, so
-/// transport cost scales with shards, not decisions.
-#[derive(Debug)]
+/// Everything a shard worker owns. Responses travel as one `Vec` per
+/// flush — a single channel hand-off per shard per epoch, so transport
+/// cost scales with shards, not decisions. The mailbox and response
+/// channel are `dosco_net` transport ends, so the same worker body runs
+/// on an in-process thread or in a separate shard process over TCP.
 pub(crate) struct ShardWorker {
     pub index: usize,
     pub num_shards: usize,
@@ -99,8 +102,8 @@ pub(crate) struct ShardWorker {
     pub stochastic_seed: Option<u64>,
     pub policy: Arc<CoordinationPolicy>,
     pub version: u64,
-    pub mailbox: Receiver<ShardMsg>,
-    pub responses: Sender<Vec<DecisionResponse>>,
+    pub mailbox: BoxRx<ShardMsg>,
+    pub responses: BoxTx<Vec<DecisionResponse>>,
 }
 
 /// The shard thread body: drain the mailbox, batch at flush barriers.

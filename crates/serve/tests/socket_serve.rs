@@ -1,0 +1,135 @@
+//! Serve-plane socket equivalence: the pinned guarantee of the
+//! `dosco_net` tentpole on the serving side. A fabric whose shard
+//! mailboxes and response channel are real TCP connections — framed,
+//! checksummed, serialized through the binary codec — produces *exactly*
+//! the same `Metrics` and decision accounting as the in-process fabric,
+//! and so does the true multi-process deployment (a `FrontendServer`
+//! plus separately-dialing shard workers).
+
+use dosco_core::policy::PolicyMetadata;
+use dosco_core::CoordinationPolicy;
+use dosco_net::{NetConfig, SocketLoopback};
+use dosco_nn::mlp::{Activation, Mlp};
+use dosco_serve::{
+    run_remote_shard, serve, serve_with_transport, FaultScript, FrontendServer, ServeConfig,
+};
+use dosco_simnet::ScenarioConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn policy(degree: usize) -> CoordinationPolicy {
+    let mut rng = StdRng::seed_from_u64(11);
+    let actor = Mlp::new(&[4 * degree + 4, 24, degree + 1], Activation::Tanh, &mut rng);
+    CoordinationPolicy::new(actor, degree, PolicyMetadata::default())
+}
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig::paper_base(2).with_horizon(300.0)
+}
+
+/// Greedy serving over loopback TCP is exactly the in-process fabric:
+/// every request, flush barrier, and response crossed the wire and not a
+/// single decision moved.
+#[test]
+fn greedy_serving_over_loopback_socket_is_exact() {
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+    let seeds = [3u64, 7, 13];
+    let cfg = ServeConfig::new(3);
+
+    let in_proc = serve(&p, None, &scenario, &seeds, &cfg);
+    let socketed =
+        serve_with_transport(&p, None, &scenario, &seeds, &cfg, &SocketLoopback, |_| {});
+
+    assert_eq!(
+        in_proc.metrics, socketed.metrics,
+        "metrics diverged over TCP"
+    );
+    assert_eq!(
+        in_proc.report, socketed.report,
+        "decision accounting diverged over TCP"
+    );
+    assert!(socketed.report.decisions > 0, "horizon produced no decisions");
+}
+
+/// Stochastic serving (per-node RNG streams, sampled actions) holds the
+/// same exactness: the request ids, batch order, and draws all survive
+/// serialization.
+#[test]
+fn stochastic_serving_over_loopback_socket_is_exact() {
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+    let seeds = [5u64, 17];
+    let cfg = ServeConfig::new(2).with_stochastic_seed(7);
+
+    let in_proc = serve(&p, None, &scenario, &seeds, &cfg);
+    let socketed =
+        serve_with_transport(&p, None, &scenario, &seeds, &cfg, &SocketLoopback, |_| {});
+
+    assert_eq!(in_proc.metrics, socketed.metrics);
+    assert_eq!(in_proc.report, socketed.report);
+}
+
+/// The full multi-process deployment: a frontend server accepting shard
+/// connections, shard workers dialing in and reading their `ShardInit`
+/// frame — run here on threads exercising the exact code path a real
+/// shard process runs. Greedy and stochastic, both exact.
+#[test]
+fn remote_shard_deployment_matches_in_process() {
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+    let seeds = [3u64, 7, 13];
+
+    for cfg in [
+        ServeConfig::new(2),
+        ServeConfig::new(2).with_stochastic_seed(9),
+    ] {
+        let in_proc = serve(&p, None, &scenario, &seeds, &cfg);
+
+        let server = FrontendServer::bind("127.0.0.1:0").expect("bind frontend");
+        let addr = server.local_addr();
+        let shards: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    run_remote_shard(&addr, &NetConfig::default()).expect("shard run")
+                })
+            })
+            .collect();
+
+        let remote = server
+            .serve(&p, None, &scenario, &seeds, &cfg)
+            .expect("remote serve");
+        for s in shards {
+            s.join().expect("shard thread");
+        }
+
+        assert_eq!(
+            in_proc.metrics, remote.metrics,
+            "metrics diverged across processes"
+        );
+        assert_eq!(
+            in_proc.report, remote.report,
+            "accounting diverged across processes"
+        );
+    }
+}
+
+/// Fault scripts are rejected up front for remote deployments: the
+/// frontend cannot respawn a shard process, so it refuses rather than
+/// silently degrading.
+#[test]
+fn remote_serve_rejects_fault_scripts() {
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+    let cfg = ServeConfig::new(2).with_faults(FaultScript::new().kill(0, 1, 2));
+
+    let server = FrontendServer::bind("127.0.0.1:0").expect("bind frontend");
+    let err = server
+        .serve(&p, None, &scenario, &[3], &cfg)
+        .expect_err("fault script must be rejected");
+    assert!(
+        err.to_string().contains("fault injection"),
+        "unexpected error: {err}"
+    );
+}

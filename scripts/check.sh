@@ -22,6 +22,18 @@ cargo test -q -p dosco-serve
 echo "== cargo test (control plane) =="
 cargo test -q -p dosco-ctl
 
+echo "== cargo test (transport layer) =="
+cargo test -q -p dosco-net
+
+echo "== net frame codec hardening (proptest round-trip + corruption) =="
+cargo test --release -p dosco-net --test frame_props
+
+echo "== runtime loopback-socket equivalence (bit-identical to in-process) =="
+cargo test --release -p dosco-runtime --test socket_equivalence
+
+echo "== serve loopback-socket equivalence (local + remote shard planes) =="
+cargo test --release -p dosco-serve --test socket_serve
+
 echo "== ctl canary end-to-end (promote/rollback, exact accounting) =="
 cargo test --release -p dosco-ctl --test canary_e2e
 

@@ -9,6 +9,7 @@
 pub use dosco_baselines as baselines;
 pub use dosco_core as core;
 pub use dosco_ctl as ctl;
+pub use dosco_net as net;
 pub use dosco_nn as nn;
 pub use dosco_obs as obs;
 pub use dosco_rl as rl;
