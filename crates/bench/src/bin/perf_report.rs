@@ -6,6 +6,9 @@
 //! resident slab size in the record notes), indexed-cancellable queue vs
 //! BinaryHeap-with-tombstones and slab vs HashMap microbenches, the
 //! blocked GEMM kernels against the retained naive references, the
+//! scalar-vs-AVX2(-vs-FMA) SIMD micro-kernel dispatch (`DOSCO_SIMD`),
+//! fp32 vs int8 quantized serving (with the measured argmax agreement
+//! in the record note), the
 //! pool-parallel stages (forward/backward, K-FAC, rollout collection,
 //! eval fan-out) at 1 vs 4 worker threads, serial vs actor–learner
 //! training throughput (`dosco_runtime`), the observability layer's
@@ -16,7 +19,7 @@
 //! save), and the transport layer (`dosco_net`: in-process channels vs
 //! framed loopback-TCP socket channels, both raw batch hand-off and a
 //! full sync training run whose socket result is bit-identical), then
-//! writes `BENCH_PR8.json` at the repo root (or `--out <path>`).
+//! writes `BENCH_PR9.json` at the repo root (or `--out <path>`).
 //!
 //! Span timers are armed for the whole run, so the report also embeds an
 //! `obs` snapshot: per-kind span totals (GEMM, K-FAC, rollout collection,
@@ -36,6 +39,7 @@ use dosco_nn::kfac::{Kfac, KfacConfig};
 use dosco_nn::matrix::Matrix;
 use dosco_nn::mlp::{Activation, Mlp};
 use dosco_nn::par;
+use dosco_nn::simd::GemmKernel;
 use dosco_rl::rollout::RolloutCollector;
 use dosco_rl::Env;
 use rand::SeedableRng;
@@ -365,6 +369,42 @@ fn gemm_fwd_bwd(batch: usize, width: usize, note: &str) -> BenchRecord {
     )
 }
 
+/// The scalar reference kernel vs the runtime-detected SIMD
+/// micro-kernels (`DOSCO_SIMD` dispatch) on the forward/backward GEMM
+/// chain. AVX2 keeps the scalar summation order (bit-identical); FMA
+/// fuses multiply-add (deterministic but not bitwise), so it ships
+/// opt-in only.
+fn gemm_simd(batch: usize, width: usize, kernel: GemmKernel, note: &str) -> Option<BenchRecord> {
+    if !kernel.is_available() {
+        eprintln!("[perf_report] skipping gemm/simd {}: not available on this host", kernel.label());
+        return None;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let x = rand_matrix(batch, width, &mut rng);
+    let w = rand_matrix(width, width, &mut rng);
+    let d = rand_matrix(batch, width, &mut rng);
+    let mut fwd = Matrix::zeros(batch, width);
+    let mut igrad = Matrix::zeros(batch, width);
+    let mut wgrad = Matrix::zeros(width, width);
+    let reps = if batch * width * width > 1 << 24 { 5 } else { 12 };
+    let mut chain = |k: GemmKernel| {
+        x.matmul_into_with(&w, &mut fwd, k);
+        d.matmul_transpose_into_with(&w, &mut igrad, k);
+        x.transpose_matmul_into_with(&d, &mut wgrad, k);
+        fwd.get(0, 0)
+    };
+    let scalar = time_ms(reps, || chain(GemmKernel::Scalar));
+    let simd = time_ms(reps, || chain(kernel));
+    Some(BenchRecord::new(
+        &format!("gemm/simd-{}-{batch}x{width}", kernel.label()),
+        "scalar reference kernel (DOSCO_SIMD=off)",
+        &format!("{} micro-kernel (this PR)", kernel.label()),
+        scalar,
+        simd,
+        note,
+    ))
+}
+
 /// The same blocked kernels at 1 vs 4 pool threads.
 fn gemm_threads(batch: usize, width: usize, note: &str) -> BenchRecord {
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
@@ -606,6 +646,98 @@ fn serve_throughput(shards: usize, host: usize) -> BenchRecord {
     )
 }
 
+/// Fp32 vs int8 serving on the same workload: the quantized forward
+/// path trades bit-identity for integer arithmetic under the
+/// decision-equivalence contract. The note reports each run's own
+/// decisions/sec (trajectories may diverge where argmax flips) plus the
+/// measured per-decision argmax agreement on observations recorded from
+/// a real episode — the same quantity the pinned contract test gates.
+fn serve_quantized(host: usize) -> BenchRecord {
+    use dosco_core::policy::PolicyMetadata;
+    use dosco_core::CoordinationPolicy;
+    use dosco_nn::{Categorical, QuantizedMlp};
+    use dosco_serve::{serve, ServeConfig};
+
+    let scenario = base_scenario(2, dosco_traffic::ArrivalPattern::paper_poisson(), 400.0);
+    let degree = scenario.topology.network_degree();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let actor = Mlp::paper_arch(4 * degree + 4, degree + 1, &mut rng);
+    let policy = CoordinationPolicy::new(actor, degree, PolicyMetadata::default());
+    let seeds: Vec<u64> = (0..8).collect();
+
+    let mut fp32_decisions = 0u64;
+    let fp32_cfg = ServeConfig::new(2);
+    let fp32_ms = time_ms(5, || {
+        let out = serve(&policy, None, &scenario, &seeds, &fp32_cfg);
+        fp32_decisions = out.report.decisions;
+        fp32_decisions
+    });
+    let mut int8_decisions = 0u64;
+    let int8_cfg = ServeConfig::new(2).with_quantized();
+    let int8_ms = time_ms(5, || {
+        let out = serve(&policy, None, &scenario, &seeds, &int8_cfg);
+        int8_decisions = out.report.decisions;
+        int8_decisions
+    });
+
+    // Measured argmax agreement on observations recorded from a real
+    // greedy episode — the decision-equivalence number, not a guess.
+    struct Rec {
+        policy: CoordinationPolicy,
+        adapter: dosco_core::observe::ObservationAdapter,
+        obs: Vec<Vec<f32>>,
+    }
+    impl dosco_simnet::Coordinator for Rec {
+        fn decide(
+            &mut self,
+            sim: &dosco_simnet::Simulation,
+            dp: &dosco_simnet::DecisionPoint,
+        ) -> dosco_simnet::Action {
+            let obs = self.adapter.observe(sim, dp);
+            let action = dosco_simnet::Action::from_index(self.policy.act(&obs));
+            self.obs.push(obs);
+            action
+        }
+    }
+    let mut rec = Rec {
+        adapter: policy.adapter(),
+        policy: policy.clone(),
+        obs: Vec::new(),
+    };
+    let mut sim = dosco_simnet::Simulation::new(scenario, seeds[0]);
+    sim.run(&mut rec);
+    let rows: Vec<&[f32]> = rec.obs.iter().map(Vec::as_slice).collect();
+    let batch = Matrix::from_rows(&rows);
+    let quant = QuantizedMlp::from_mlp(policy.actor());
+    let fp32_acts = Categorical::new(&policy.actor().forward(&batch)).argmax();
+    let int8_acts = Categorical::new(&quant.forward(&batch)).argmax();
+    let agree = fp32_acts.iter().zip(&int8_acts).filter(|(a, b)| a == b).count();
+
+    let note = format!(
+        "{:.0} vs {:.0} decisions/sec (each run's own trajectory); argmax \
+         agreement {agree}/{} = {:.4} on one recorded episode; int8 weights \
+         are {}x smaller{}",
+        fp32_decisions as f64 / (fp32_ms / 1e3),
+        int8_decisions as f64 / (int8_ms / 1e3),
+        fp32_acts.len(),
+        agree as f64 / fp32_acts.len().max(1) as f64,
+        policy.actor().num_params() * 4 / quant.memory_bytes().max(1),
+        if host < 2 {
+            "; single-core host: shard threads timeshare with the frontend"
+        } else {
+            ""
+        }
+    );
+    BenchRecord::new(
+        "serve/8-episodes-quantized-int8",
+        "fp32 batched fabric (2 shards)",
+        "int8 quantized fabric (2 shards)",
+        fp32_ms,
+        int8_ms,
+        &note,
+    )
+}
+
 /// In-process metrics export vs a full HTTP `GET /metrics` round trip
 /// against a live `CtlServer` — the price of putting the registry behind
 /// real TCP (connect + request + serialize + frame + read).
@@ -775,7 +907,7 @@ fn net_sync_training(note: &str) -> BenchRecord {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
     // Arm span timers so the embedded obs snapshot covers the whole run.
     dosco_obs::set_spans_enabled(true);
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -833,6 +965,15 @@ fn main() {
     records.push(gemm_fwd_bwd(64, 256, "paper scale: batch 64, 256-wide layers"));
     eprintln!("[perf_report] gemm naive vs blocked (256x512)...");
     records.push(gemm_fwd_bwd(256, 512, "large scale: batch 256, 512-wide layers"));
+    let simd_note = "same blocked tiling, single thread; AVX2 preserves the \
+                     scalar summation order so DOSCO_SIMD=off/auto stay \
+                     bit-identical; FMA is the opt-in non-bitwise mode";
+    for &(b, wd) in &[(64usize, 256usize), (256, 512)] {
+        eprintln!("[perf_report] gemm scalar vs avx2 ({b}x{wd})...");
+        records.extend(gemm_simd(b, wd, GemmKernel::Avx2, simd_note));
+    }
+    eprintln!("[perf_report] gemm scalar vs fma (256x512)...");
+    records.extend(gemm_simd(256, 512, GemmKernel::Fma, simd_note));
     eprintln!("[perf_report] gemm thread scaling...");
     records.push(gemm_threads(256, 512, &thread_note));
     eprintln!("[perf_report] mlp forward+backward thread scaling...");
@@ -862,6 +1003,8 @@ fn main() {
     records.push(serve_throughput(1, host));
     eprintln!("[perf_report] serve throughput (2 shards)...");
     records.push(serve_throughput(2, host));
+    eprintln!("[perf_report] serve fp32 vs int8 quantized...");
+    records.push(serve_quantized(host));
     let net_note = format!(
         "loopback TCP on a {host}-core host: the socket path costs codec + \
          frame + checksum + syscalls per batch and cannot win on wall clock; \

@@ -28,15 +28,20 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest request head (request line + headers) the server accepts.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// Largest `POST` body (job specs are small JSON objects).
 const MAX_BODY_BYTES: usize = 64 * 1024;
-/// Per-connection socket timeout: an ops surface never waits on a slow
-/// client while holding a worker.
+/// Per-read socket timeout: bounds each individual wait so a worker is
+/// never parked indefinitely on a dead client.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+/// Overall deadline for reading one complete request. A read timeout
+/// *mid-request* resumes (a slow client dribbling a valid request one
+/// byte at a time is still served); a client that cannot deliver a full
+/// request within this window is cut off with a 400.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Ops server configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,7 +197,13 @@ impl CtlServer {
 /// Worker body: answer connections until the acceptor disconnects.
 fn worker_loop(rx: &std::sync::Mutex<Receiver<TcpStream>>, state: &CtlState) {
     loop {
-        let next = rx.lock().expect("ctl worker queue poisoned").recv();
+        // A poisoned lock means a sibling worker panicked while holding
+        // the dequeue mutex; the queue itself is still sound, so keep
+        // serving instead of cascading the panic through the pool.
+        let next = rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recv();
         match next {
             Ok(stream) => handle_connection(stream, state),
             Err(_) => return,
@@ -346,10 +357,38 @@ fn json_str(s: &str) -> String {
 
 /// Reads one full request: the head up to the blank line, then — when a
 /// `Content-Length` header is present — exactly that many body bytes.
-/// Returns `None` on I/O errors, timeouts, or oversized requests.
-fn read_request(stream: &mut TcpStream) -> Option<(String, String)> {
+/// Returns `None` on EOF mid-request, hard I/O errors, the overall
+/// [`REQUEST_DEADLINE`] expiring, or oversized requests.
+///
+/// TCP gives no framing guarantees: the head can arrive split across
+/// any number of segments and a body can dribble in one byte at a time,
+/// with the per-read timeout ([`SOCKET_TIMEOUT`]) firing between bytes.
+/// `Interrupted` always resumes; `WouldBlock`/`TimedOut` resume until
+/// the deadline — a transient stall must not drop or truncate an
+/// otherwise valid request. Generic over [`Read`] so the resume logic
+/// is unit-testable against scripted streams.
+fn read_request<R: Read>(stream: &mut R) -> Option<(String, String)> {
+    let start = Instant::now();
     let mut data = Vec::new();
     let mut buf = [0u8; 1024];
+    let mut read_more = |data: &mut Vec<u8>| -> Option<()> {
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => return None,
+                Ok(n) => {
+                    data.extend_from_slice(&buf[..n]);
+                    return Some(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) && start.elapsed() < REQUEST_DEADLINE => {}
+                Err(_) => return None,
+            }
+        }
+    };
     let head_end = loop {
         if let Some(pos) = data.windows(4).position(|w| w == b"\r\n\r\n") {
             break pos + 4;
@@ -357,10 +396,7 @@ fn read_request(stream: &mut TcpStream) -> Option<(String, String)> {
         if data.len() > MAX_REQUEST_BYTES {
             return None;
         }
-        match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return None,
-            Ok(n) => data.extend_from_slice(&buf[..n]),
-        }
+        read_more(&mut data)?;
     };
     let head = String::from_utf8(data[..head_end].to_vec()).ok()?;
     let content_length = head
@@ -377,10 +413,7 @@ fn read_request(stream: &mut TcpStream) -> Option<(String, String)> {
         return None;
     }
     while data.len() < head_end + content_length {
-        match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return None,
-            Ok(n) => data.extend_from_slice(&buf[..n]),
-        }
+        read_more(&mut data)?;
     }
     let body = String::from_utf8(data[head_end..head_end + content_length].to_vec()).ok()?;
     Some((head, body))
@@ -460,6 +493,93 @@ mod tests {
         assert_eq!(json_str("plain"), "\"plain\"");
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+
+    /// Delivers at most one byte per `read` with scripted transient
+    /// errors interleaved — a TCP client at its most adversarial.
+    struct DribbleStream {
+        steps: std::collections::VecDeque<Result<u8, io::ErrorKind>>,
+    }
+
+    impl DribbleStream {
+        fn of(bytes: &[u8], interleave: &[io::ErrorKind]) -> Self {
+            let mut steps = std::collections::VecDeque::new();
+            for (i, &b) in bytes.iter().enumerate() {
+                if !interleave.is_empty() {
+                    steps.push_back(Err(interleave[i % interleave.len()]));
+                }
+                steps.push_back(Ok(b));
+            }
+            DribbleStream { steps }
+        }
+    }
+
+    impl Read for DribbleStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.steps.pop_front() {
+                None => Ok(0),
+                Some(Ok(b)) => {
+                    buf[0] = b;
+                    Ok(1)
+                }
+                Some(Err(kind)) => Err(kind.into()),
+            }
+        }
+    }
+
+    /// Regression: a head split across arbitrarily many reads, with a
+    /// timeout or interrupt before every byte, must still parse —
+    /// previously any `Err(_)` dropped the request as a 400.
+    #[test]
+    fn read_request_survives_split_head_and_transient_errors() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let errs = [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+        ];
+        let mut stream = DribbleStream::of(raw, &errs);
+        let (head, body) = read_request(&mut stream).expect("parsed");
+        assert!(head.starts_with("GET /healthz HTTP/1.1"));
+        assert!(body.is_empty());
+    }
+
+    /// Regression: a `Content-Length` body dribbling in one byte at a
+    /// time across read timeouts must arrive complete, not truncated.
+    #[test]
+    fn read_request_survives_dribbled_body() {
+        let raw = b"POST /jobs/train HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"epochs\": 1}";
+        let errs = [io::ErrorKind::WouldBlock];
+        let mut stream = DribbleStream::of(raw, &errs);
+        let (head, body) = read_request(&mut stream).expect("parsed");
+        assert!(head.starts_with("POST /jobs/train"));
+        assert_eq!(body, "{\"epochs\": 1}");
+    }
+
+    /// EOF before the head completes is still a bad request.
+    #[test]
+    fn read_request_rejects_eof_mid_head() {
+        let mut stream = DribbleStream::of(b"GET /healthz HTT", &[]);
+        assert!(read_request(&mut stream).is_none());
+    }
+
+    /// EOF before `Content-Length` bytes arrive is a bad request, not a
+    /// silently truncated body.
+    #[test]
+    fn read_request_rejects_eof_mid_body() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        let mut stream = DribbleStream::of(raw, &[]);
+        assert!(read_request(&mut stream).is_none());
+    }
+
+    /// A hard I/O error (not a timeout) still fails the request.
+    #[test]
+    fn read_request_rejects_hard_errors() {
+        let mut stream = DribbleStream::of(b"GET / HTTP/1.1\r\n\r\n", &[]);
+        stream
+            .steps
+            .push_front(Err(io::ErrorKind::ConnectionReset));
+        assert!(read_request(&mut stream).is_none());
     }
 
     #[test]

@@ -163,7 +163,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
     }
     let expected = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    read_exact_mid_frame(r, &mut payload)?;
     let actual = fnv1a64(&payload);
     if actual != expected {
         return Err(FrameError::ChecksumMismatch { expected, actual });
@@ -173,8 +173,26 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
     Ok(payload)
 }
 
+/// A read-timeout error (`SO_RCVTIMEO` expiry): the stream is idle, not
+/// broken. Portability note: Unix reports `WouldBlock`, Windows `TimedOut`.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Like `read_exact`, but distinguishes "no bytes at all" (clean EOF at a
 /// frame boundary) from "some bytes then EOF" (truncation mid-frame).
+///
+/// Partial reads are the norm on TCP: a header (or payload, below) can
+/// arrive one byte per segment, and on a stream with a read timeout the
+/// timeout can fire *between* those bytes. Once any frame byte has been
+/// consumed the only safe behaviors are to keep reading or to fail the
+/// stream — returning a retryable error mid-frame would desync every
+/// frame after it. So a timeout with `filled > 0` resumes, while a
+/// timeout before the first header byte surfaces as [`FrameError::Io`]
+/// with nothing consumed (an idle-but-healthy stream, safe to retry).
 fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), FrameError> {
     let mut filled = 0;
     while filled < buf.len() {
@@ -188,6 +206,24 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), FrameErro
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if filled > 0 && is_timeout(&e) => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// `read_exact` for bytes that are *inside* a frame (the payload): EOF is
+/// always [`FrameError::Truncated`], and interrupts/timeouts resume — the
+/// header was already consumed, so bailing out here could never be
+/// retried without desyncing the stream.
+fn read_exact_mid_frame<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted || is_timeout(&e) => {}
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
@@ -262,6 +298,101 @@ mod tests {
             decode_frame(&oversize),
             Err(FrameError::TooLarge(_))
         ));
+    }
+
+    /// Delivers at most one byte per `read`, with scripted I/O errors
+    /// interleaved — the worst-case behavior of a real TCP stream with a
+    /// read timeout (`SO_RCVTIMEO`) under heavy segmentation.
+    struct DribbleReader {
+        steps: std::collections::VecDeque<Result<u8, io::ErrorKind>>,
+    }
+
+    impl DribbleReader {
+        fn new(steps: impl IntoIterator<Item = Result<u8, io::ErrorKind>>) -> Self {
+            DribbleReader {
+                steps: steps.into_iter().collect(),
+            }
+        }
+    }
+
+    impl Read for DribbleReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            assert!(!buf.is_empty());
+            match self.steps.pop_front() {
+                None => Ok(0),
+                Some(Ok(b)) => {
+                    buf[0] = b;
+                    Ok(1)
+                }
+                Some(Err(kind)) => Err(kind.into()),
+            }
+        }
+    }
+
+    /// Regression: a frame arriving one byte per read, with a timeout or
+    /// interrupt after every byte, must decode — not desync or error.
+    #[test]
+    fn frame_survives_one_byte_reads_with_interleaved_timeouts() {
+        let bytes = encode_frame(b"dribbled payload");
+        let mut steps = Vec::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            steps.push(Ok(b));
+            // After the first byte we are mid-frame: every flavor of
+            // transient error must be absorbed. (None after the final
+            // byte — that would be a boundary tick of the next frame.)
+            if i + 1 < bytes.len() {
+                steps.push(Err(match i % 3 {
+                    0 => io::ErrorKind::Interrupted,
+                    1 => io::ErrorKind::WouldBlock,
+                    _ => io::ErrorKind::TimedOut,
+                }));
+            }
+        }
+        let mut r = DribbleReader::new(steps);
+        assert_eq!(read_frame(&mut r).expect("decode"), b"dribbled payload");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+
+    /// A timeout before the first header byte is an idle stream, not a
+    /// fault: it surfaces as `Io` with nothing consumed, and the very
+    /// next `read_frame` decodes the frame — no desync.
+    #[test]
+    fn timeout_at_frame_boundary_is_retryable() {
+        let bytes = encode_frame(b"after the idle tick");
+        let mut steps = vec![Err(io::ErrorKind::WouldBlock)];
+        steps.extend(bytes.iter().map(|&b| Ok(b)));
+        let mut r = DribbleReader::new(steps);
+        match read_frame(&mut r) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+            other => panic!("expected retryable Io, got {other:?}"),
+        }
+        assert_eq!(read_frame(&mut r).expect("retry decodes"), b"after the idle tick");
+    }
+
+    /// Regression: a timeout between payload bytes must resume the read
+    /// (previously the payload used a raw `read_exact`, which failed and
+    /// left the stream desynced mid-frame).
+    #[test]
+    fn timeout_mid_payload_resumes() {
+        let bytes = encode_frame(b"split payload");
+        let mut steps: Vec<Result<u8, io::ErrorKind>> =
+            bytes.iter().map(|&b| Ok(b)).collect();
+        // Stall right after the first payload byte.
+        steps.insert(HEADER_LEN + 1, Err(io::ErrorKind::WouldBlock));
+        steps.insert(HEADER_LEN + 2, Err(io::ErrorKind::TimedOut));
+        let mut r = DribbleReader::new(steps);
+        assert_eq!(read_frame(&mut r).expect("decode"), b"split payload");
+    }
+
+    /// EOF inside the payload is truncation, even through the resuming
+    /// reader.
+    #[test]
+    fn eof_mid_payload_is_truncated() {
+        let bytes = encode_frame(b"cut short");
+        let steps: Vec<Result<u8, io::ErrorKind>> =
+            bytes[..bytes.len() - 2].iter().map(|&b| Ok(b)).collect();
+        let mut r = DribbleReader::new(steps);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
     }
 
     #[test]

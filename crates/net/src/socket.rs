@@ -198,6 +198,20 @@ pub fn receiver_on<T: Wire>(stream: TcpStream, capacity: usize) -> BoxRx<T> {
                 let payload = match read_frame(&mut stream) {
                     Ok(p) => p,
                     Err(FrameError::Eof) => return,
+                    // A read timeout at a frame boundary (the caller may
+                    // have configured `SO_RCVTIMEO` on the stream) is an
+                    // idle tick, not a fault: nothing was consumed, so
+                    // waiting again cannot desync. Timeouts *inside* a
+                    // frame never surface here — `read_frame` resumes
+                    // them itself.
+                    Err(FrameError::Io(e))
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        continue;
+                    }
                     Err(e) => {
                         *fault_in.lock().expect("fault lock") = Some(e.to_string());
                         return;

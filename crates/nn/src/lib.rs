@@ -16,7 +16,13 @@
 //!   KL trust region (the core of ACKTR),
 //! - [`par`]: a persistent worker pool with deterministic data-parallel
 //!   primitives (sized by `DOSCO_THREADS`; results are bit-identical for
-//!   every thread count).
+//!   every thread count),
+//! - [`simd`]: runtime-detected AVX2/FMA GEMM micro-kernels behind the
+//!   `DOSCO_SIMD` switch (scalar kernels stay the bit-exact reference;
+//!   the default `auto` mode only ever picks bit-identical kernels),
+//! - [`quant`]: per-row-absmax int8 weight quantization and an
+//!   integer-accumulate int8 GEMM for inference-only forwards
+//!   ([`quant::QuantizedMlp`]).
 //!
 //! Models serialize with serde, so trained policies can be copied to every
 //! node for distributed inference (Fig. 4b) and shipped as JSON artifacts.
@@ -45,9 +51,13 @@ pub mod matrix;
 pub mod mlp;
 pub mod optim;
 pub mod par;
+pub mod quant;
+pub mod simd;
 
 pub use dist::Categorical;
 pub use kfac::{Kfac, KfacConfig};
 pub use matrix::Matrix;
 pub use mlp::{Activation, ForwardCache, Gradients, Mlp};
 pub use optim::{Adam, Optimizer, RmsProp, Sgd};
+pub use quant::{QuantizedMatrix, QuantizedMlp};
+pub use simd::GemmKernel;

@@ -3,6 +3,7 @@
 //! Kept deliberately small: exactly the operations the MLP, optimizers, and
 //! K-FAC need, with shape checks on every operation.
 
+use crate::simd::GemmKernel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -205,10 +206,34 @@ impl Matrix {
             (self.rows, other.cols),
             "matmul output shape mismatch"
         );
+        self.matmul_into_with(other, out, crate::simd::active());
+    }
+
+    /// [`Matrix::matmul_into`] with an explicitly forced GEMM kernel,
+    /// clamped to the best the CPU supports
+    /// ([`GemmKernel::best_available`]). Lets benches and equivalence
+    /// tests compare scalar/AVX2/FMA in one process regardless of
+    /// `DOSCO_SIMD`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` has the wrong shape.
+    pub fn matmul_into_with(&self, other: &Matrix, out: &mut Matrix, kernel: GemmKernel) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
         let _span = dosco_obs::span(dosco_obs::SpanKind::Gemm);
+        let kernel = kernel.best_available();
         let (kk, n) = (self.cols, other.cols);
         run_row_blocked(self.rows, kk, n, &mut out.data, |row0, out_block| {
-            matmul_block(&self.data, &other.data, out_block, row0, kk, n);
+            matmul_block_dispatch(&self.data, &other.data, out_block, row0, kk, n, kernel);
         });
     }
 
@@ -242,10 +267,40 @@ impl Matrix {
             (self.cols, other.cols),
             "transpose_matmul output shape mismatch"
         );
+        self.transpose_matmul_into_with(other, out, crate::simd::active());
+    }
+
+    /// [`Matrix::transpose_matmul_into`] with an explicitly forced GEMM
+    /// kernel, clamped to the best the CPU supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `out` has the wrong shape.
+    pub fn transpose_matmul_into_with(&self, other: &Matrix, out: &mut Matrix, kernel: GemmKernel) {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul shape mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "transpose_matmul output shape mismatch"
+        );
         let _span = dosco_obs::span(dosco_obs::SpanKind::Gemm);
+        let kernel = kernel.best_available();
         let (m, kk, n) = (self.cols, self.rows, other.cols);
         run_row_blocked(m, kk, n, &mut out.data, |row0, out_block| {
-            transpose_matmul_block(&self.data, &other.data, out_block, row0, m, kk, n);
+            transpose_matmul_block_dispatch(
+                &self.data,
+                &other.data,
+                out_block,
+                row0,
+                m,
+                kk,
+                n,
+                kernel,
+            );
         });
     }
 
@@ -279,10 +334,35 @@ impl Matrix {
             (self.rows, other.rows),
             "matmul_transpose output shape mismatch"
         );
+        self.matmul_transpose_into_with(other, out, crate::simd::active());
+    }
+
+    /// [`Matrix::matmul_transpose_into`] with an explicitly forced GEMM
+    /// kernel, clamped to the best the CPU supports. `A·Bᵀ` reduces over
+    /// `k`, which SIMD lanes can only speed up by reordering the sum, so
+    /// only the (already inexact) FMA kernel vectorizes here —
+    /// `Scalar` and `Avx2` both run the scalar kernel and stay
+    /// bit-identical to the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `out` has the wrong shape.
+    pub fn matmul_transpose_into_with(&self, other: &Matrix, out: &mut Matrix, kernel: GemmKernel) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose shape mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.rows),
+            "matmul_transpose output shape mismatch"
+        );
         let _span = dosco_obs::span(dosco_obs::SpanKind::Gemm);
+        let kernel = kernel.best_available();
         let (kk, n) = (self.cols, other.rows);
         run_row_blocked(self.rows, kk, n, &mut out.data, |row0, out_block| {
-            matmul_transpose_block(&self.data, &other.data, out_block, row0, kk, n);
+            matmul_transpose_block_dispatch(&self.data, &other.data, out_block, row0, kk, n, kernel);
         });
     }
 
@@ -533,10 +613,12 @@ impl Matrix {
 const ROW_BLOCK: usize = 32;
 /// Panel width over the contraction dimension `k`: bounds the slice of the
 /// non-output operand kept hot in cache while sweeping a row block.
-const K_BLOCK: usize = 64;
+/// Shared with the SIMD kernels so scalar and vector paths walk the same
+/// panels (a precondition for the AVX2 path's bit-identity).
+pub(crate) const K_BLOCK: usize = 64;
 /// Panel width over output columns: one `f32` panel row is 1 KiB, so a
 /// `K_BLOCK × J_BLOCK` panel of `B` stays L2-resident.
-const J_BLOCK: usize = 256;
+pub(crate) const J_BLOCK: usize = 256;
 /// Below this many multiply-adds the pool dispatch overhead dominates and
 /// the product runs inline on the calling thread.
 const PAR_MIN_FLOPS: usize = 1 << 17;
@@ -566,8 +648,9 @@ fn run_row_blocked(
 /// Output-column width of the register micro-kernel: `MM_JT` accumulators
 /// per row fit a couple of SIMD registers, and a full `kk × MM_JT` column
 /// panel of `B` (e.g. 512 × 16 f32 = 32 KiB) stays L1/L2-resident while
-/// the `k` loop streams it.
-const MM_JT: usize = 16;
+/// the `k` loop streams it. Shared with the SIMD kernels (two 8-lane
+/// vectors per row).
+pub(crate) const MM_JT: usize = 16;
 
 /// Register-tiled inner kernel: `RT` rows × (up to) [`MM_JT`] columns of
 /// `C`, with the accumulators living in registers for the *entire* `k`
@@ -727,6 +810,82 @@ fn matmul_transpose_block(
                 j += 1;
             }
         }
+    }
+}
+
+/// Routes one `matmul` row block to the scalar or SIMD kernel. The
+/// kernel arrives pre-clamped by [`GemmKernel::best_available`], so the
+/// SIMD arms are only reachable when the CPU supports them (re-asserted
+/// inside `simd::x86`).
+fn matmul_block_dispatch(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    row0: usize,
+    kk: usize,
+    n: usize,
+    kernel: GemmKernel,
+) {
+    match kernel {
+        GemmKernel::Scalar => matmul_block(a, b, out_block, row0, kk, n),
+        #[cfg(target_arch = "x86_64")]
+        GemmKernel::Avx2 => crate::simd::x86::run_matmul_block(false, a, b, out_block, row0, kk, n),
+        #[cfg(target_arch = "x86_64")]
+        GemmKernel::Fma => crate::simd::x86::run_matmul_block(true, a, b, out_block, row0, kk, n),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => matmul_block(a, b, out_block, row0, kk, n),
+    }
+}
+
+/// Routes one `transpose_matmul` row block (see [`matmul_block_dispatch`]).
+#[allow(clippy::too_many_arguments)]
+fn transpose_matmul_block_dispatch(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    row0: usize,
+    m: usize,
+    kk: usize,
+    n: usize,
+    kernel: GemmKernel,
+) {
+    match kernel {
+        GemmKernel::Scalar => transpose_matmul_block(a, b, out_block, row0, m, kk, n),
+        #[cfg(target_arch = "x86_64")]
+        GemmKernel::Avx2 => {
+            crate::simd::x86::run_transpose_matmul_block(false, a, b, out_block, row0, m, kk, n)
+        }
+        #[cfg(target_arch = "x86_64")]
+        GemmKernel::Fma => {
+            crate::simd::x86::run_transpose_matmul_block(true, a, b, out_block, row0, m, kk, n)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => transpose_matmul_block(a, b, out_block, row0, m, kk, n),
+    }
+}
+
+/// Routes one `matmul_transpose` row block. Only the FMA kernel
+/// vectorizes this shape (`k`-reduction); `Scalar` *and* `Avx2` take the
+/// scalar kernel so both stay bit-identical to the reference.
+fn matmul_transpose_block_dispatch(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    row0: usize,
+    kk: usize,
+    n: usize,
+    kernel: GemmKernel,
+) {
+    match kernel {
+        GemmKernel::Scalar | GemmKernel::Avx2 => {
+            matmul_transpose_block(a, b, out_block, row0, kk, n)
+        }
+        #[cfg(target_arch = "x86_64")]
+        GemmKernel::Fma => {
+            crate::simd::x86::run_matmul_transpose_block(a, b, out_block, row0, kk, n)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        GemmKernel::Fma => matmul_transpose_block(a, b, out_block, row0, kk, n),
     }
 }
 

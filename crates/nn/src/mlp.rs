@@ -23,7 +23,7 @@ pub enum Activation {
 impl Activation {
     /// Applies the activation in place so the forward pass can reuse the
     /// pre-activation buffer instead of allocating.
-    fn apply_in_place(self, z: &mut Matrix) {
+    pub(crate) fn apply_in_place(self, z: &mut Matrix) {
         match self {
             Activation::Tanh => {
                 for v in z.as_mut_slice() {

@@ -1,0 +1,463 @@
+//! Per-row-absmax int8 quantization for inference-only forwards.
+//!
+//! The serve plane's hot loop is `Mlp::forward` over a shard's batched
+//! observations. This module trades bit-identity for throughput and
+//! memory: weights are quantized once per policy version to int8 with one
+//! scale per *output channel* (each row of `Wᵀ` gets `scale =
+//! absmax/127`), activations are quantized dynamically with one scale per
+//! *batch row*, and each output element is a pure integer dot product
+//!
+//! ```text
+//! z[r][j] = s_x[r] · s_w[j] · Σ_k xq[r][k]·wq[j][k]  +  b[j]
+//! ```
+//!
+//! The Σ accumulates in `i32`, which is **exact**: every product fits in
+//! 15 bits, so the sum cannot lose precision until the contraction
+//! dimension exceeds ~130k (asserted far below at [`MAX_ACC_DIM`]). All
+//! rounding error therefore comes from the two quantization steps, not
+//! the GEMM itself, and the int8 forward is deterministic and
+//! batch-split invariant (each output row depends only on its input
+//! row) on every CPU.
+//!
+//! Quantized inference is *never* bit-identical to f32, so the serve
+//! plane gates it behind a tested decision-equivalence contract instead:
+//! greedy argmax agreement ≥ a pinned threshold on a recorded
+//! observation corpus, with exact `Metrics` deltas reported (see
+//! `dosco_serve` and DESIGN.md). Training never touches this module.
+//!
+//! The inner dot product uses an AVX2 kernel (sign-extend to i16 +
+//! `madd` into i32 lanes) when the CPU supports it and `DOSCO_SIMD` is
+//! not `off`; integer addition is associative, so the vector kernel is
+//! bit-equal to the scalar one and the switch is purely about speed.
+
+use crate::matrix::Matrix;
+use crate::mlp::{Activation, Mlp};
+use crate::simd::GemmKernel;
+
+/// Upper bound on the contraction dimension of the int8 GEMM. The i32
+/// accumulator is exact up to `2^31 / 127^2 ≈ 133k` terms; this asserts
+/// with margin (the workspace's layers are ≤ a few thousand wide).
+pub const MAX_ACC_DIM: usize = 100_000;
+
+/// Quantizes `src` into `dst` with a single absmax scale (`absmax/127`)
+/// and returns that scale; `dequantized = q as f32 * scale`. An all-zero
+/// row quantizes to zeros with scale `0.0` (exact round-trip). Inputs
+/// are assumed finite (trained weights / observation features); non-
+/// finite values saturate through the cast like any out-of-range value.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn quantize_row(src: &[f32], dst: &mut [i8]) -> f32 {
+    assert_eq!(src.len(), dst.len(), "quantize_row length mismatch");
+    let absmax = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if absmax == 0.0 {
+        dst.fill(0);
+        return 0.0;
+    }
+    let inv = 127.0 / absmax;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        // `as` saturates, so a lane rounding to ±127.0000x stays in range.
+        *d = (s * inv).round() as i8;
+    }
+    absmax / 127.0
+}
+
+/// A row-major int8 matrix with one `f32` scale per row:
+/// `element(r, c) ≈ data[r][c] as f32 * scales[r]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes each row of `m` independently ([`quantize_row`]).
+    pub fn from_rows(m: &Matrix) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        assert!(
+            cols <= MAX_ACC_DIM,
+            "int8 GEMM contraction dim {cols} exceeds the exact-i32 bound {MAX_ACC_DIM}"
+        );
+        let mut data = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            scales[r] = quantize_row(m.row(r), &mut data[r * cols..(r + 1) * cols]);
+        }
+        QuantizedMatrix {
+            rows,
+            cols,
+            data,
+            scales,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The int8 values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, r: usize) -> &[i8] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The absmax scale of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Expands back to `f32` (each element `q · scale_row`); the
+    /// round-trip error per element is at most half a quantization step
+    /// (`scale/2`).
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            for (o, &q) in out.row_mut(r).iter_mut().zip(self.row(r)) {
+                *o = f32::from(q) * s;
+            }
+        }
+        out
+    }
+
+    /// Heap bytes held (weights + scales) — what the int8 path saves
+    /// over `f32` storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<i8>() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Exact i32 dot product of two int8 rows (scalar reference).
+fn dot_i8_scalar(x: &[i8], w: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (&a, &b) in x.iter().zip(w) {
+        acc += i32::from(a) * i32::from(b);
+    }
+    acc
+}
+
+/// AVX2 int8 dot kernel: 16 lanes sign-extended to i16, `madd`-paired
+/// into i32, summed horizontally. Integer addition is associative, so
+/// this is bit-equal to [`dot_i8_scalar`] (pinned by a test), unlike the
+/// f32 SIMD kernels where order matters.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// Horizontal sum of 8 i32 lanes.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn hsum_epi32(v: __m256i) -> i32 {
+        let q = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+        let d = _mm_add_epi32(q, _mm_shuffle_epi32::<0b00_00_11_10>(q));
+        let s = _mm_add_epi32(d, _mm_shuffle_epi32::<0b00_00_00_01>(d));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// See the module docs of [`super`]; requires `x.len() == w.len()`.
+    /// Each `madd` lane holds at most `2·127²`, so i32 lanes stay exact
+    /// for any length below [`super::MAX_ACC_DIM`].
+    #[target_feature(enable = "avx2")]
+    fn dot_i8_avx2(x: &[i8], w: &[i8]) -> i32 {
+        let len = x.len();
+        let mut acc = _mm256_setzero_si256();
+        let mut k = 0;
+        while k + 16 <= len {
+            // SAFETY: `k + 16 <= len` bounds both 16-byte loads inside the
+            // equal-length slices.
+            unsafe {
+                let xv =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(x.as_ptr().add(k).cast::<__m128i>()));
+                let wv =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(w.as_ptr().add(k).cast::<__m128i>()));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xv, wv));
+            }
+            k += 16;
+        }
+        let mut sum = hsum_epi32(acc);
+        while k < len {
+            sum += i32::from(x[k]) * i32::from(w[k]);
+            k += 1;
+        }
+        sum
+    }
+
+    /// Safe dispatch wrapper; asserts CPU support.
+    pub(super) fn dot_i8(x: &[i8], w: &[i8]) -> i32 {
+        assert!(
+            super::super::simd::avx2_available(),
+            "AVX2 int8 kernel dispatched without CPU support"
+        );
+        // SAFETY: AVX2 support was just asserted via runtime feature
+        // detection.
+        unsafe { dot_i8_avx2(x, w) }
+    }
+}
+
+/// Exact i32 dot product of two equal-length int8 rows, vectorized when
+/// `vector` is true (callers pass `false` when `DOSCO_SIMD=off` or the
+/// CPU lacks AVX2). Both paths return identical values.
+fn dot_i8(x: &[i8], w: &[i8], vector: bool) -> i32 {
+    debug_assert_eq!(x.len(), w.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if vector {
+            return x86::dot_i8(x, w);
+        }
+    }
+    let _ = vector;
+    dot_i8_scalar(x, w)
+}
+
+/// Whether the int8 dot product should use the AVX2 kernel: requires CPU
+/// support and `DOSCO_SIMD` not forcing scalar (the vector kernel is
+/// bit-equal, so this only affects speed).
+fn vector_dot_enabled() -> bool {
+    crate::simd::avx2_available() && crate::simd::active() != GemmKernel::Scalar
+}
+
+/// One quantized dense layer: `Wᵀ` stored as int8 rows (one row — and
+/// one scale — per output channel) plus the f32 bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedDense {
+    wt: QuantizedMatrix,
+    b: Vec<f32>,
+}
+
+impl QuantizedDense {
+    /// Input dimension.
+    pub fn inputs(&self) -> usize {
+        self.wt.cols()
+    }
+
+    /// Output dimension.
+    pub fn outputs(&self) -> usize {
+        self.wt.rows()
+    }
+}
+
+/// An inference-only int8 copy of an [`Mlp`]: per-output-channel weight
+/// scales baked at conversion, per-row activation scales computed on the
+/// fly, activations and biases kept in f32 between layers. See the
+/// module docs for the numerics contract.
+///
+/// # Example
+///
+/// ```
+/// use dosco_nn::{matrix::Matrix, mlp::Mlp, quant::QuantizedMlp};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let net = Mlp::paper_arch(16, 4, &mut rng);
+/// let q = QuantizedMlp::from_mlp(&net);
+/// let x = Matrix::zeros(2, 16);
+/// assert_eq!(q.forward(&x).cols(), net.forward(&x).cols());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedDense>,
+    activation: Activation,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a trained network for inference. One-time cost per
+    /// policy version (the serve plane converts at shard init and on
+    /// hot-swap).
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|layer| QuantizedDense {
+                wt: QuantizedMatrix::from_rows(&layer.weights().transpose()),
+                b: layer.bias().to_vec(),
+            })
+            .collect();
+        QuantizedMlp {
+            layers,
+            activation: mlp.activation(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn inputs(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Output dimension.
+    pub fn outputs(&self) -> usize {
+        self.layers.last().expect("at least one layer").outputs()
+    }
+
+    /// The quantized layers.
+    pub fn layers(&self) -> &[QuantizedDense] {
+        &self.layers
+    }
+
+    /// Heap bytes held by the quantized weights (cf. 4 bytes/param f32).
+    pub fn memory_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.wt.memory_bytes() + l.b.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Batched int8 forward (`batch × inputs` → `batch × outputs`),
+    /// mirroring [`Mlp::forward`]: activation between layers, raw logits
+    /// out. Deterministic and batch-split invariant; *not* bit-identical
+    /// to the f32 forward (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` does not match the input dimension.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.inputs(), "quantized forward input width");
+        let vector = vector_dot_enabled();
+        let last = self.layers.len() - 1;
+        let mut h = x.clone();
+        let mut xq: Vec<i8> = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let out_dim = layer.outputs();
+            let mut z = Matrix::zeros(h.rows(), out_dim);
+            xq.resize(h.cols(), 0);
+            for r in 0..h.rows() {
+                let sx = quantize_row(h.row(r), &mut xq);
+                let zrow = z.row_mut(r);
+                for (j, zv) in zrow.iter_mut().enumerate() {
+                    let acc = dot_i8(&xq, layer.wt.row(j), vector);
+                    *zv = sx * layer.wt.scale(j) * acc as f32 + layer.b[j];
+                }
+            }
+            if i != last {
+                self.activation.apply_in_place(&mut z);
+            }
+            h = z;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = rng.gen_range(-1.5..1.5);
+        }
+        m
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let m = rand_matrix(7, 33, 11);
+        let q = QuantizedMatrix::from_rows(&m);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            let step = q.scale(r);
+            assert!(step > 0.0);
+            for (a, b) in m.row(r).iter().zip(back.row(r)) {
+                assert!(
+                    (a - b).abs() <= step / 2.0 + 1e-7,
+                    "row {r}: {a} vs {b} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absmax_element_hits_full_range() {
+        let m = Matrix::from_rows(&[&[0.5, -2.0, 1.0]]);
+        let q = QuantizedMatrix::from_rows(&m);
+        assert_eq!(q.row(0)[1], -127);
+        assert_eq!(q.scale(0), 2.0 / 127.0);
+    }
+
+    #[test]
+    fn zero_row_is_exact() {
+        let m = Matrix::zeros(2, 5);
+        let q = QuantizedMatrix::from_rows(&m);
+        assert_eq!(q.scale(0), 0.0);
+        assert_eq!(q.dequantize(), m);
+    }
+
+    #[test]
+    fn vector_dot_is_bit_equal_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [0usize, 1, 7, 15, 16, 17, 31, 32, 100, 1087] {
+            let x: Vec<i8> = (0..len).map(|_| rng.gen_range(-127..=127i32) as i8).collect();
+            let w: Vec<i8> = (0..len).map(|_| rng.gen_range(-127..=127i32) as i8).collect();
+            let scalar = dot_i8(&x, &w, false);
+            if crate::simd::avx2_available() {
+                assert_eq!(scalar, dot_i8(&x, &w, true), "len {len}");
+            }
+            // Cross-check against a widened i64 reference.
+            let wide: i64 = x.iter().zip(&w).map(|(&a, &b)| i64::from(a) * i64::from(b)).sum();
+            assert_eq!(i64::from(scalar), wide, "len {len}");
+        }
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Mlp::paper_arch(20, 5, &mut rng);
+        let q = QuantizedMlp::from_mlp(&net);
+        assert_eq!((q.inputs(), q.outputs()), (20, 5));
+        let x = rand_matrix(16, 20, 77);
+        let exact = net.forward(&x);
+        let approx = q.forward(&x);
+        let (mut max_err, mut max_mag) = (0.0f32, 0.0f32);
+        for (a, b) in exact.as_slice().iter().zip(approx.as_slice()) {
+            max_err = max_err.max((a - b).abs());
+            max_mag = max_mag.max(a.abs());
+        }
+        // int8 keeps ~2 decimal digits per tensor; through 3 layers the
+        // logits stay within a few percent of full scale.
+        assert!(
+            max_err <= 0.05 * max_mag.max(1.0),
+            "max_err {max_err} vs max_mag {max_mag}"
+        );
+    }
+
+    #[test]
+    fn quantized_forward_is_batch_split_invariant() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = Mlp::paper_arch(12, 4, &mut rng);
+        let q = QuantizedMlp::from_mlp(&net);
+        let x = rand_matrix(6, 12, 41);
+        let batched = q.forward(&x);
+        for r in 0..x.rows() {
+            let single = q.forward(&Matrix::from_rows(&[x.row(r)]));
+            assert_eq!(single.row(0), batched.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn quantized_weights_are_4x_smaller() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Mlp::paper_arch(16, 4, &mut rng);
+        let q = QuantizedMlp::from_mlp(&net);
+        let f32_bytes = net.num_params() * std::mem::size_of::<f32>();
+        assert!(q.memory_bytes() < f32_bytes / 3, "{} vs {f32_bytes}", q.memory_bytes());
+    }
+}

@@ -1,0 +1,576 @@
+//! Runtime-dispatched `std::arch` SIMD micro-kernels for the GEMM hot path.
+//!
+//! The scalar register-tiled kernels in [`crate::matrix`] remain the
+//! bit-exact reference path; this module adds AVX2 and AVX2+FMA variants
+//! selected at runtime via [`is_x86_feature_detected!`] and the
+//! `DOSCO_SIMD` environment switch:
+//!
+//! | `DOSCO_SIMD`            | kernel                         | numerics vs scalar        |
+//! |-------------------------|--------------------------------|---------------------------|
+//! | `off` / `0` / `scalar`  | [`GemmKernel::Scalar`]         | reference                 |
+//! | `avx2`                  | [`GemmKernel::Avx2`]           | **bit-identical**         |
+//! | `fma` / `on` / `1`      | [`GemmKernel::Fma`]            | deterministic, not bitwise|
+//! | unset / `auto`          | best **bit-identical** kernel  | bit-identical             |
+//!
+//! The AVX2 kernels vectorize across *independent output columns* with
+//! separate multiply and add steps, so every output element keeps exactly
+//! the scalar kernel's single ascending-`k` `f32` accumulator chain —
+//! bit-identical by construction, which is why `auto` may select them
+//! without breaking the workspace's golden traces or equivalence suites.
+//! The FMA kernels fuse multiply-add with a single rounding per step:
+//! still fully deterministic (fixed order, batch-split invariant), but
+//! not bit-comparable to scalar, so they run only when explicitly
+//! requested. `A·Bᵀ` (`matmul_transpose`) reduces over `k`; lane-parallel
+//! reduction inherently reorders the sum, so that kernel gets a SIMD
+//! variant only in FMA mode and stays scalar otherwise.
+//!
+//! Requesting a kernel the CPU lacks silently falls back to the best
+//! available one ([`GemmKernel::best_available`]); an unparseable
+//! `DOSCO_SIMD` value panics, mirroring `DOSCO_THREADS`.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::OnceLock;
+
+/// Which GEMM micro-kernel family executes the f32 hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// Portable register-tiled scalar kernels: the bit-exact reference.
+    Scalar,
+    /// AVX2 kernels with separate multiply and add rounding steps;
+    /// bit-identical to [`GemmKernel::Scalar`] by construction.
+    Avx2,
+    /// AVX2+FMA kernels (fused multiply-add, one rounding per step);
+    /// deterministic but **not** bit-identical to scalar.
+    Fma,
+}
+
+impl GemmKernel {
+    /// Whether this kernel produces bit-identical results to the scalar
+    /// reference path. Tests use this to decide between bitwise and
+    /// tolerance-based assertions.
+    pub fn bit_exact(self) -> bool {
+        !matches!(self, GemmKernel::Fma)
+    }
+
+    /// Whether the running CPU can execute this kernel.
+    pub fn is_available(self) -> bool {
+        match self {
+            GemmKernel::Scalar => true,
+            GemmKernel::Avx2 => avx2_available(),
+            GemmKernel::Fma => fma_available(),
+        }
+    }
+
+    /// This kernel if the CPU supports it, else the fastest supported
+    /// downgrade (`Fma → Avx2 → Scalar`). Every dispatch site clamps
+    /// through this, so a forced kernel is portable.
+    pub fn best_available(self) -> GemmKernel {
+        match self {
+            GemmKernel::Scalar => GemmKernel::Scalar,
+            GemmKernel::Avx2 => {
+                if avx2_available() {
+                    GemmKernel::Avx2
+                } else {
+                    GemmKernel::Scalar
+                }
+            }
+            GemmKernel::Fma => {
+                if fma_available() {
+                    GemmKernel::Fma
+                } else if avx2_available() {
+                    GemmKernel::Avx2
+                } else {
+                    GemmKernel::Scalar
+                }
+            }
+        }
+    }
+
+    /// Stable lowercase name (`scalar` / `avx2` / `fma`) for logs and
+    /// bench records.
+    pub fn label(self) -> &'static str {
+        match self {
+            GemmKernel::Scalar => "scalar",
+            GemmKernel::Avx2 => "avx2",
+            GemmKernel::Fma => "fma",
+        }
+    }
+}
+
+/// True when the running CPU supports the AVX2 kernels.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the running CPU supports the AVX2+FMA kernels.
+pub fn fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// What `DOSCO_SIMD` asked for, before clamping to CPU support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Requested {
+    Auto,
+    Off,
+    Avx2,
+    Fma,
+}
+
+/// Parses a raw `DOSCO_SIMD` value. `None`/empty means `Auto`.
+fn parse_requested(raw: Option<&str>) -> Result<Requested, String> {
+    let v = raw.unwrap_or("").trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" | "auto" => Ok(Requested::Auto),
+        "off" | "0" | "scalar" | "false" => Ok(Requested::Off),
+        "avx2" => Ok(Requested::Avx2),
+        "fma" | "on" | "1" | "true" => Ok(Requested::Fma),
+        other => Err(format!(
+            "DOSCO_SIMD must be one of auto|off|scalar|avx2|fma|on|1|0 (got {other:?})"
+        )),
+    }
+}
+
+/// Clamps a request to what the CPU supports. `Auto` selects the best
+/// *bit-identical* kernel so default-environment runs keep every golden
+/// and bitwise-equivalence contract; FMA is explicit opt-in.
+fn resolve(req: Requested) -> GemmKernel {
+    match req {
+        Requested::Off => GemmKernel::Scalar,
+        Requested::Auto | Requested::Avx2 => GemmKernel::Avx2.best_available(),
+        Requested::Fma => GemmKernel::Fma.best_available(),
+    }
+}
+
+/// The process-wide active GEMM kernel: `DOSCO_SIMD` parsed once and
+/// clamped to CPU support (see the module docs for the value table).
+///
+/// # Panics
+///
+/// Panics on the first call if `DOSCO_SIMD` is set to an unknown value.
+pub fn active() -> GemmKernel {
+    static ACTIVE: OnceLock<GemmKernel> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let raw = std::env::var("DOSCO_SIMD").ok();
+        let req = parse_requested(raw.as_deref()).unwrap_or_else(|e| panic!("{e}"));
+        resolve(req)
+    })
+}
+
+/// The x86-64 kernel bodies. Everything here mirrors the scalar kernels
+/// in `matrix.rs` tile-for-tile; the `run_*` wrappers re-verify CPU
+/// support with a real `assert!` so they are safe to call from any
+/// context (the check is one cached atomic load, noise next to a GEMM
+/// block).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use crate::matrix::{J_BLOCK, K_BLOCK, MM_JT};
+    use core::arch::x86_64::*;
+
+    /// `acc + a·b` with separate rounding steps — matches the scalar
+    /// kernels bit-for-bit.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn vmadd_unfused(a: __m256, b: __m256, acc: __m256) -> __m256 {
+        _mm256_add_ps(acc, _mm256_mul_ps(a, b))
+    }
+
+    /// Fused `a·b + acc`, one rounding step.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn vmadd_fused(a: __m256, b: __m256, acc: __m256) -> __m256 {
+        _mm256_fmadd_ps(a, b, acc)
+    }
+
+    /// Scalar tail op paired with [`vmadd_unfused`].
+    #[inline]
+    fn smadd_unfused(a: f32, b: f32, acc: f32) -> f32 {
+        acc + a * b
+    }
+
+    /// Scalar tail op paired with [`vmadd_fused`]: fused like the vector
+    /// lanes so the whole FMA kernel rounds once per step.
+    #[inline]
+    fn smadd_fused(a: f32, b: f32, acc: f32) -> f32 {
+        a.mul_add(b, acc)
+    }
+
+    /// Expands the `matmul` / `transpose_matmul` kernel pair once per
+    /// feature set. A macro (rather than a `const FMA: bool` generic)
+    /// keeps each instantiation inside a fn carrying exactly the
+    /// `#[target_feature]` set its intrinsics need, so the multiply-add
+    /// helpers stay safe calls and inline cleanly.
+    macro_rules! define_gemm_kernels {
+        ($feat:literal, $vmadd:ident, $smadd:ident,
+         $mm_tile:ident, $matmul_block:ident, $tmm_block:ident) => {
+            /// `RT` rows × up to [`MM_JT`] columns of `C` with 8-lane
+            /// register accumulators; the vector lanes are independent
+            /// output columns, so each element keeps one accumulator
+            /// chain over ascending `k` exactly like the scalar tile.
+            #[target_feature(enable = $feat)]
+            fn $mm_tile<const RT: usize>(
+                a: &[f32],
+                b: &[f32],
+                out_block: &mut [f32],
+                arow0: usize,
+                r: usize,
+                kk: usize,
+                n: usize,
+            ) {
+                let mut j0 = 0;
+                while j0 + MM_JT <= n {
+                    let mut acc = [[_mm256_setzero_ps(); 2]; RT];
+                    for k in 0..kk {
+                        let bp = b[k * n + j0..k * n + j0 + MM_JT].as_ptr();
+                        // SAFETY: the slice above proves MM_JT (=16) f32 are
+                        // readable at `bp`; the two unaligned loads cover
+                        // lanes 0..8 and 8..16 of it.
+                        let (b0, b1) = unsafe { (_mm256_loadu_ps(bp), _mm256_loadu_ps(bp.add(8))) };
+                        for rr in 0..RT {
+                            let av = _mm256_set1_ps(a[(arow0 + rr) * kk + k]);
+                            acc[rr][0] = $vmadd(av, b0, acc[rr][0]);
+                            acc[rr][1] = $vmadd(av, b1, acc[rr][1]);
+                        }
+                    }
+                    for rr in 0..RT {
+                        let op =
+                            out_block[(r + rr) * n + j0..(r + rr) * n + j0 + MM_JT].as_mut_ptr();
+                        // SAFETY: the slice above proves MM_JT (=16) f32 of
+                        // writable storage at `op`; the two unaligned stores
+                        // cover lanes 0..8 and 8..16 of it.
+                        unsafe {
+                            _mm256_storeu_ps(op, acc[rr][0]);
+                            _mm256_storeu_ps(op.add(8), acc[rr][1]);
+                        }
+                    }
+                    j0 += MM_JT;
+                }
+                // Scalar column remainder (n % MM_JT), same per-element
+                // accumulation order as the scalar tile's remainder loop.
+                if j0 < n {
+                    let jt = n - j0;
+                    let mut acc = [[0.0f32; MM_JT]; RT];
+                    for k in 0..kk {
+                        let b_seg = &b[k * n + j0..k * n + j0 + jt];
+                        for rr in 0..RT {
+                            let av = a[(arow0 + rr) * kk + k];
+                            for (x, &bv) in acc[rr][..jt].iter_mut().zip(b_seg) {
+                                *x = $smadd(av, bv, *x);
+                            }
+                        }
+                    }
+                    for rr in 0..RT {
+                        out_block[(r + rr) * n + j0..(r + rr) * n + j0 + jt]
+                            .copy_from_slice(&acc[rr][..jt]);
+                    }
+                }
+            }
+
+            /// `C[row0.., :] = A[row0.., :] · B`: 4/2/1-row tiling
+            /// identical to the scalar `matmul_block`.
+            #[target_feature(enable = $feat)]
+            fn $matmul_block(
+                a: &[f32],
+                b: &[f32],
+                out_block: &mut [f32],
+                row0: usize,
+                kk: usize,
+                n: usize,
+            ) {
+                let rows = out_block.len() / n;
+                let mut r = 0;
+                while r + 4 <= rows {
+                    $mm_tile::<4>(a, b, out_block, row0 + r, r, kk, n);
+                    r += 4;
+                }
+                if r + 2 <= rows {
+                    $mm_tile::<2>(a, b, out_block, row0 + r, r, kk, n);
+                    r += 2;
+                }
+                if r < rows {
+                    $mm_tile::<1>(a, b, out_block, row0 + r, r, kk, n);
+                }
+            }
+
+            /// `C[row0.., :] = (Aᵀ)[row0.., :] · B`: the scalar kernel's
+            /// `K_BLOCK × J_BLOCK` panel walk with the elementwise inner
+            /// `out[j] += a·b[j]` loop run 8 lanes at a time. Lanes are
+            /// independent `j` columns, so per-element order matches the
+            /// scalar kernel.
+            #[target_feature(enable = $feat)]
+            fn $tmm_block(
+                a: &[f32],
+                b: &[f32],
+                out_block: &mut [f32],
+                row0: usize,
+                m: usize,
+                kk: usize,
+                n: usize,
+            ) {
+                out_block.fill(0.0);
+                let rows = out_block.len() / n;
+                for k0 in (0..kk).step_by(K_BLOCK) {
+                    let k1 = (k0 + K_BLOCK).min(kk);
+                    for j0 in (0..n).step_by(J_BLOCK) {
+                        let j1 = (j0 + J_BLOCK).min(n);
+                        let len = j1 - j0;
+                        for r in 0..rows {
+                            let i = row0 + r;
+                            for k in k0..k1 {
+                                let avs = a[k * m + i];
+                                let av = _mm256_set1_ps(avs);
+                                let bp = b[k * n + j0..k * n + j1].as_ptr();
+                                let op = out_block[r * n + j0..r * n + j1].as_mut_ptr();
+                                let mut j = 0;
+                                while j + 8 <= len {
+                                    // SAFETY: `j + 8 <= len` keeps both
+                                    // 8-lane accesses inside the two
+                                    // `len`-long slices taken above.
+                                    unsafe {
+                                        let o = _mm256_loadu_ps(op.add(j));
+                                        let bv = _mm256_loadu_ps(bp.add(j));
+                                        _mm256_storeu_ps(op.add(j), $vmadd(av, bv, o));
+                                    }
+                                    j += 8;
+                                }
+                                while j < len {
+                                    // SAFETY: `j < len` stays inside the
+                                    // slices taken above.
+                                    unsafe {
+                                        *op.add(j) = $smadd(avs, *bp.add(j), *op.add(j));
+                                    }
+                                    j += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    define_gemm_kernels!(
+        "avx2",
+        vmadd_unfused,
+        smadd_unfused,
+        mm_tile_avx2,
+        matmul_block_avx2,
+        transpose_matmul_block_avx2
+    );
+    define_gemm_kernels!(
+        "avx2,fma",
+        vmadd_fused,
+        smadd_fused,
+        mm_tile_fma,
+        matmul_block_fma,
+        transpose_matmul_block_fma
+    );
+
+    /// Horizontal sum of 8 lanes: fold high half onto low, then pairwise.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn hsum256(v: __m256) -> f32 {
+        let q = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps::<1>(v));
+        let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        _mm_cvtss_f32(_mm_add_ss(d, _mm_shuffle_ps::<0b01>(d, d)))
+    }
+
+    /// `C[row0.., :] = A[row0.., :] · Bᵀ` with four independent 8-lane FMA
+    /// accumulators over `k` per dot product. Lane-parallel reduction
+    /// reorders the sum, so this kernel exists only for the (already
+    /// inexact) FMA mode; Scalar/Avx2 modes keep the scalar kernel. The
+    /// order is still fixed and row-independent, so results stay
+    /// deterministic and batch-split invariant, and nothing skips zero
+    /// terms (NaN/∞ propagate like the reference).
+    #[target_feature(enable = "avx2,fma")]
+    fn matmul_transpose_block_fma(
+        a: &[f32],
+        b: &[f32],
+        out_block: &mut [f32],
+        row0: usize,
+        kk: usize,
+        n: usize,
+    ) {
+        let rows = out_block.len() / n;
+        for r in 0..rows {
+            let a_row = &a[(row0 + r) * kk..(row0 + r) * kk + kk];
+            let ap = a_row.as_ptr();
+            for j in 0..n {
+                let b_row = &b[j * kk..(j + 1) * kk];
+                let bp = b_row.as_ptr();
+                let mut acc = [_mm256_setzero_ps(); 4];
+                let mut k = 0;
+                while k + 32 <= kk {
+                    for (l, accl) in acc.iter_mut().enumerate() {
+                        // SAFETY: `k + 32 <= kk` bounds all four 8-lane
+                        // loads (offsets k..k+32) within both kk-long rows.
+                        unsafe {
+                            *accl = _mm256_fmadd_ps(
+                                _mm256_loadu_ps(ap.add(k + 8 * l)),
+                                _mm256_loadu_ps(bp.add(k + 8 * l)),
+                                *accl,
+                            );
+                        }
+                    }
+                    k += 32;
+                }
+                while k + 8 <= kk {
+                    // SAFETY: `k + 8 <= kk` bounds both 8-lane loads.
+                    unsafe {
+                        acc[0] = _mm256_fmadd_ps(
+                            _mm256_loadu_ps(ap.add(k)),
+                            _mm256_loadu_ps(bp.add(k)),
+                            acc[0],
+                        );
+                    }
+                    k += 8;
+                }
+                let accv = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+                let mut s = hsum256(accv);
+                while k < kk {
+                    s = a_row[k].mul_add(b_row[k], s);
+                    k += 1;
+                }
+                out_block[r * n + j] = s;
+            }
+        }
+    }
+
+    /// Dispatches one `matmul` row block to the AVX2 (`fma = false`) or
+    /// AVX2+FMA kernel.
+    pub(crate) fn run_matmul_block(
+        fma: bool,
+        a: &[f32],
+        b: &[f32],
+        out_block: &mut [f32],
+        row0: usize,
+        kk: usize,
+        n: usize,
+    ) {
+        if fma {
+            assert!(super::fma_available(), "FMA kernel dispatched without CPU support");
+            // SAFETY: AVX2+FMA support was just asserted via runtime
+            // feature detection.
+            unsafe { matmul_block_fma(a, b, out_block, row0, kk, n) }
+        } else {
+            assert!(super::avx2_available(), "AVX2 kernel dispatched without CPU support");
+            // SAFETY: AVX2 support was just asserted via runtime feature
+            // detection.
+            unsafe { matmul_block_avx2(a, b, out_block, row0, kk, n) }
+        }
+    }
+
+    /// Dispatches one `transpose_matmul` row block (see
+    /// [`run_matmul_block`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_transpose_matmul_block(
+        fma: bool,
+        a: &[f32],
+        b: &[f32],
+        out_block: &mut [f32],
+        row0: usize,
+        m: usize,
+        kk: usize,
+        n: usize,
+    ) {
+        if fma {
+            assert!(super::fma_available(), "FMA kernel dispatched without CPU support");
+            // SAFETY: AVX2+FMA support was just asserted via runtime
+            // feature detection.
+            unsafe { transpose_matmul_block_fma(a, b, out_block, row0, m, kk, n) }
+        } else {
+            assert!(super::avx2_available(), "AVX2 kernel dispatched without CPU support");
+            // SAFETY: AVX2 support was just asserted via runtime feature
+            // detection.
+            unsafe { transpose_matmul_block_avx2(a, b, out_block, row0, m, kk, n) }
+        }
+    }
+
+    /// Dispatches one `matmul_transpose` row block; FMA mode only.
+    pub(crate) fn run_matmul_transpose_block(
+        a: &[f32],
+        b: &[f32],
+        out_block: &mut [f32],
+        row0: usize,
+        kk: usize,
+        n: usize,
+    ) {
+        assert!(super::fma_available(), "FMA kernel dispatched without CPU support");
+        // SAFETY: AVX2+FMA support was just asserted via runtime feature
+        // detection.
+        unsafe { matmul_transpose_block_fma(a, b, out_block, row0, kk, n) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_documented_value() {
+        assert_eq!(parse_requested(None), Ok(Requested::Auto));
+        assert_eq!(parse_requested(Some("")), Ok(Requested::Auto));
+        assert_eq!(parse_requested(Some("auto")), Ok(Requested::Auto));
+        assert_eq!(parse_requested(Some(" AUTO ")), Ok(Requested::Auto));
+        for off in ["off", "0", "scalar", "false", "OFF"] {
+            assert_eq!(parse_requested(Some(off)), Ok(Requested::Off), "{off}");
+        }
+        assert_eq!(parse_requested(Some("avx2")), Ok(Requested::Avx2));
+        for fma in ["fma", "on", "1", "true", "FMA"] {
+            assert_eq!(parse_requested(Some(fma)), Ok(Requested::Fma), "{fma}");
+        }
+        assert!(parse_requested(Some("avx512")).is_err());
+        assert!(parse_requested(Some("2")).is_err());
+    }
+
+    #[test]
+    fn off_always_resolves_to_scalar() {
+        assert_eq!(resolve(Requested::Off), GemmKernel::Scalar);
+    }
+
+    #[test]
+    fn auto_resolves_to_a_bit_exact_kernel() {
+        assert!(resolve(Requested::Auto).bit_exact());
+        // And it never selects an unavailable kernel.
+        assert!(resolve(Requested::Auto).is_available());
+        assert!(resolve(Requested::Fma).is_available());
+    }
+
+    #[test]
+    fn best_available_never_upgrades() {
+        assert_eq!(GemmKernel::Scalar.best_available(), GemmKernel::Scalar);
+        let a = GemmKernel::Avx2.best_available();
+        assert!(a == GemmKernel::Avx2 || a == GemmKernel::Scalar);
+        // Fma downgrades through Avx2 before Scalar.
+        if !fma_available() && avx2_available() {
+            assert_eq!(GemmKernel::Fma.best_available(), GemmKernel::Avx2);
+        }
+    }
+
+    #[test]
+    fn bit_exactness_is_exactly_non_fma() {
+        assert!(GemmKernel::Scalar.bit_exact());
+        assert!(GemmKernel::Avx2.bit_exact());
+        assert!(!GemmKernel::Fma.bit_exact());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(GemmKernel::Scalar.label(), "scalar");
+        assert_eq!(GemmKernel::Avx2.label(), "avx2");
+        assert_eq!(GemmKernel::Fma.label(), "fma");
+    }
+}

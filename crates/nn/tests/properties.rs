@@ -22,6 +22,25 @@ fn bits(m: &Matrix) -> Vec<u32> {
     m.as_slice().iter().map(|v| v.to_bits()).collect()
 }
 
+/// The dispatched-vs-reference contract, parameterized by the active
+/// `DOSCO_SIMD` kernel: scalar and AVX2 modes must match the naive
+/// reference *bitwise*; the opt-in FMA mode fuses multiply-add (one
+/// rounding per step) so it gets a tight tolerance instead (±1 ulp per
+/// term over k ≤ 512 stays far below 1e-3 absolute at these magnitudes).
+/// Thread/batch invariance stays bitwise in every mode and is asserted
+/// separately.
+fn gemm_matches(actual: &Matrix, reference: &Matrix) -> bool {
+    if dosco_nn::simd::active().bit_exact() {
+        bits(actual) == bits(reference)
+    } else {
+        actual
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .all(|(a, b)| (a - b).abs() <= 1e-3 + 1e-4 * b.abs() || (a.is_nan() && b.is_nan()))
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -103,9 +122,11 @@ proptest! {
         prop_assert_eq!(out.clone(), net.forward(&Matrix::row_vector(&obs)));
     }
 
-    /// The blocked `matmul` kernel is bit-identical to the naive reference
-    /// at 1 and 4 threads, over shapes that cross every block boundary
-    /// (1×N, N×1, non-multiples of the 32/64/256 blocks).
+    /// The dispatched `matmul` kernel matches the naive reference
+    /// (bitwise in scalar/AVX2 modes, tight tolerance under opt-in FMA —
+    /// see [`gemm_matches`]) at 1 and 4 threads, over shapes that cross
+    /// every block boundary (1×N, N×1, non-multiples of the 32/64/256
+    /// blocks). Serial vs parallel stays *bitwise* in every mode.
     #[test]
     fn matmul_matches_reference_bitwise(
         m in 1usize..=80, k in 1usize..=64, n in 1usize..=64, seed in 0u64..1000
@@ -116,8 +137,8 @@ proptest! {
         let reference = a.matmul_ref(&b);
         let serial = par::with_threads(1, || a.matmul(&b));
         let parallel = par::with_threads(4, || a.matmul(&b));
-        prop_assert_eq!(bits(&serial), bits(&reference));
-        prop_assert_eq!(bits(&parallel), bits(&reference));
+        prop_assert!(gemm_matches(&serial, &reference));
+        prop_assert_eq!(bits(&parallel), bits(&serial));
     }
 
     /// Same contract for the fused `selfᵀ · other` kernel.
@@ -131,8 +152,8 @@ proptest! {
         let reference = a.transpose_matmul_ref(&b);
         let serial = par::with_threads(1, || a.transpose_matmul(&b));
         let parallel = par::with_threads(4, || a.transpose_matmul(&b));
-        prop_assert_eq!(bits(&serial), bits(&reference));
-        prop_assert_eq!(bits(&parallel), bits(&reference));
+        prop_assert!(gemm_matches(&serial, &reference));
+        prop_assert_eq!(bits(&parallel), bits(&serial));
     }
 
     /// Same contract for the fused `self · otherᵀ` kernel.
@@ -146,11 +167,12 @@ proptest! {
         let reference = a.matmul_transpose_ref(&b);
         let serial = par::with_threads(1, || a.matmul_transpose(&b));
         let parallel = par::with_threads(4, || a.matmul_transpose(&b));
-        prop_assert_eq!(bits(&serial), bits(&reference));
-        prop_assert_eq!(bits(&parallel), bits(&reference));
+        prop_assert!(gemm_matches(&serial, &reference));
+        prop_assert_eq!(bits(&parallel), bits(&serial));
     }
 
-    /// The `*_into` variants overwrite stale output contents completely.
+    /// The `*_into` variants overwrite stale output contents completely
+    /// (a leaked stale NaN would fail [`gemm_matches`] in every mode).
     #[test]
     fn into_variants_overwrite_stale_output(seed in 0u64..500) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -158,7 +180,7 @@ proptest! {
         let b = rand_matrix(7, 3, &mut rng);
         let mut out = Matrix::from_fn(5, 3, |_, _| f32::NAN);
         a.matmul_into(&b, &mut out);
-        prop_assert_eq!(bits(&out), bits(&a.matmul_ref(&b)));
+        prop_assert!(gemm_matches(&out, &a.matmul_ref(&b)));
     }
 
     /// A B-row batch forward is *bitwise* identical to B single-row
@@ -235,30 +257,26 @@ fn gemm_equivalence_at_paper_and_parallel_scale() {
         let a = rand_matrix(m, k, &mut rng);
         let b = rand_matrix(k, n, &mut rng);
         let reference = a.matmul_ref(&b);
+        let serial = par::with_threads(1, || a.matmul(&b));
+        let parallel = par::with_threads(4, || a.matmul(&b));
+        assert!(gemm_matches(&serial, &reference), "serial matmul {m}x{k}x{n}");
         assert_eq!(
-            bits(&par::with_threads(1, || a.matmul(&b))),
-            bits(&reference),
-            "serial matmul {m}x{k}x{n}"
-        );
-        assert_eq!(
-            bits(&par::with_threads(4, || a.matmul(&b))),
-            bits(&reference),
-            "parallel matmul {m}x{k}x{n}"
+            bits(&parallel),
+            bits(&serial),
+            "thread-invariance matmul {m}x{k}x{n}"
         );
 
         let at = rand_matrix(k, m, &mut rng);
         let reference = at.transpose_matmul_ref(&b);
-        assert_eq!(
-            bits(&par::with_threads(4, || at.transpose_matmul(&b))),
-            bits(&reference),
+        assert!(
+            gemm_matches(&par::with_threads(4, || at.transpose_matmul(&b)), &reference),
             "parallel transpose_matmul {m}x{k}x{n}"
         );
 
         let bt = rand_matrix(n, k, &mut rng);
         let reference = a.matmul_transpose_ref(&bt);
-        assert_eq!(
-            bits(&par::with_threads(4, || a.matmul_transpose(&bt))),
-            bits(&reference),
+        assert!(
+            gemm_matches(&par::with_threads(4, || a.matmul_transpose(&bt)), &reference),
             "parallel matmul_transpose {m}x{k}x{n}"
         );
     }

@@ -1,0 +1,219 @@
+//! Forced-kernel SIMD equivalence and quantization tests.
+//!
+//! These force specific kernels through the `*_into_with` APIs, so they
+//! exercise the AVX2/FMA paths regardless of `DOSCO_SIMD` (skipping
+//! silently on CPUs without the features). Contracts:
+//!
+//! - AVX2 kernels are **bit-identical** to scalar for `matmul` and
+//!   `transpose_matmul` (and `matmul_transpose` trivially: it routes to
+//!   the scalar kernel below FMA).
+//! - FMA kernels are deterministic and within tight tolerance of scalar.
+//! - The int8 quantized forward is deterministic, batch-split invariant,
+//!   and its AVX2 dot kernel is bit-equal to its scalar one (tested in
+//!   the `quant` module; here we pin the end-to-end argmax behavior the
+//!   serve plane relies on).
+
+use dosco_nn::dist::Categorical;
+use dosco_nn::matrix::Matrix;
+use dosco_nn::mlp::Mlp;
+use dosco_nn::quant::QuantizedMlp;
+use dosco_nn::simd::GemmKernel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-2.0f32..2.0))
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Shapes crossing every tile/block boundary: full 16-wide tiles, column
+/// remainders, 4/2/1-row tails, K_BLOCK/J_BLOCK edges, degenerate dims.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 5, 17),
+    (3, 64, 16),
+    (4, 65, 33),
+    (7, 13, 15),
+    (8, 128, 48),
+    (9, 100, 257),
+    (33, 65, 31),
+    (64, 16, 256),
+    (80, 512, 96),
+];
+
+#[test]
+fn avx2_matmul_is_bit_identical_to_scalar() {
+    if !GemmKernel::Avx2.is_available() {
+        eprintln!("skipping: no AVX2 on this CPU");
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    for &(m, k, n) in SHAPES {
+        let a = rand_matrix(m, k, &mut rng);
+        let b = rand_matrix(k, n, &mut rng);
+        let mut scalar = Matrix::zeros(m, n);
+        let mut avx2 = Matrix::zeros(m, n);
+        a.matmul_into_with(&b, &mut scalar, GemmKernel::Scalar);
+        a.matmul_into_with(&b, &mut avx2, GemmKernel::Avx2);
+        assert_eq!(bits(&scalar), bits(&avx2), "matmul {m}x{k}x{n}");
+    }
+}
+
+#[test]
+fn avx2_transpose_matmul_is_bit_identical_to_scalar() {
+    if !GemmKernel::Avx2.is_available() {
+        eprintln!("skipping: no AVX2 on this CPU");
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(2);
+    for &(m, k, n) in SHAPES {
+        let a = rand_matrix(k, m, &mut rng);
+        let b = rand_matrix(k, n, &mut rng);
+        let mut scalar = Matrix::zeros(m, n);
+        let mut avx2 = Matrix::zeros(m, n);
+        a.transpose_matmul_into_with(&b, &mut scalar, GemmKernel::Scalar);
+        a.transpose_matmul_into_with(&b, &mut avx2, GemmKernel::Avx2);
+        assert_eq!(bits(&scalar), bits(&avx2), "transpose_matmul {m}x{k}x{n}");
+    }
+}
+
+#[test]
+fn avx2_matmul_transpose_routes_to_the_scalar_kernel() {
+    if !GemmKernel::Avx2.is_available() {
+        eprintln!("skipping: no AVX2 on this CPU");
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(3);
+    for &(m, k, n) in SHAPES {
+        let a = rand_matrix(m, k, &mut rng);
+        let b = rand_matrix(n, k, &mut rng);
+        let mut scalar = Matrix::zeros(m, n);
+        let mut avx2 = Matrix::zeros(m, n);
+        a.matmul_transpose_into_with(&b, &mut scalar, GemmKernel::Scalar);
+        a.matmul_transpose_into_with(&b, &mut avx2, GemmKernel::Avx2);
+        assert_eq!(bits(&scalar), bits(&avx2), "matmul_transpose {m}x{k}x{n}");
+    }
+}
+
+/// FMA fuses multiply-add (one rounding per step): deterministic, within
+/// ~1 ulp/term of scalar, but not bit-comparable — which is exactly why
+/// it is opt-in.
+#[test]
+fn fma_kernels_are_deterministic_and_close_to_scalar() {
+    if !GemmKernel::Fma.is_available() {
+        eprintln!("skipping: no FMA on this CPU");
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(4);
+    for &(m, k, n) in SHAPES {
+        let a = rand_matrix(m, k, &mut rng);
+        let b = rand_matrix(k, n, &mut rng);
+        let bt = b.transpose();
+        let mut scalar = Matrix::zeros(m, n);
+        let mut fma = Matrix::zeros(m, n);
+        let mut fma2 = Matrix::zeros(m, n);
+        a.matmul_into_with(&b, &mut scalar, GemmKernel::Scalar);
+        a.matmul_into_with(&b, &mut fma, GemmKernel::Fma);
+        a.matmul_into_with(&b, &mut fma2, GemmKernel::Fma);
+        assert_eq!(bits(&fma), bits(&fma2), "fma determinism {m}x{k}x{n}");
+        for (x, y) in fma.as_slice().iter().zip(scalar.as_slice()) {
+            assert!((x - y).abs() <= 1e-3 + 1e-4 * y.abs(), "matmul {m}x{k}x{n}: {x} vs {y}");
+        }
+
+        let mut scalar_t = Matrix::zeros(m, n);
+        let mut fma_t = Matrix::zeros(m, n);
+        a.matmul_transpose_into_with(&bt, &mut scalar_t, GemmKernel::Scalar);
+        a.matmul_transpose_into_with(&bt, &mut fma_t, GemmKernel::Fma);
+        for (x, y) in fma_t.as_slice().iter().zip(scalar_t.as_slice()) {
+            assert!(
+                (x - y).abs() <= 1e-3 + 1e-4 * y.abs(),
+                "matmul_transpose {m}x{k}x{n}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+/// The serving keystone holds for the FMA kernel too: every output row
+/// depends only on its input row, so batched == single-row *bitwise*
+/// even though FMA is not bit-comparable to scalar.
+#[test]
+fn fma_matmul_is_batch_split_invariant() {
+    if !GemmKernel::Fma.is_available() {
+        eprintln!("skipping: no FMA on this CPU");
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = rand_matrix(9, 70, &mut rng);
+    let b = rand_matrix(70, 33, &mut rng);
+    let mut batched = Matrix::zeros(9, 33);
+    a.matmul_into_with(&b, &mut batched, GemmKernel::Fma);
+    for r in 0..a.rows() {
+        let single_in = Matrix::from_rows(&[a.row(r)]);
+        let mut single = Matrix::zeros(1, 33);
+        single_in.matmul_into_with(&b, &mut single, GemmKernel::Fma);
+        let srow: Vec<u32> = single.row(0).iter().map(|v| v.to_bits()).collect();
+        let brow: Vec<u32> = batched.row(r).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(srow, brow, "row {r}");
+    }
+}
+
+/// SIMD kernels must propagate NaN/∞ like the reference (no zero-skip):
+/// `0 · NaN` and `0 · ∞` are NaN, and the poisoned elements sit inside
+/// the vector lanes (col 0 and col 16 at n = 17; k = 40 for the
+/// k-vectorized FMA dot), not just the scalar tails.
+#[test]
+fn simd_kernels_propagate_nan_and_inf() {
+    // matmul / transpose_matmul: out row = 0·row0(b) + 1·row1(b).
+    let a = Matrix::from_rows(&[&[0.0, 1.0]]); // 1×2
+    let mut b = Matrix::from_fn(2, 17, |_, _| 1.0);
+    b.set(0, 0, f32::NAN);
+    b.set(0, 16, f32::INFINITY);
+    // matmul_transpose: 40-long dot with the NaN inside the vector body.
+    let mut a_long = Matrix::zeros(1, 40);
+    a_long.set(0, 1, 1.0);
+    let mut b_long = Matrix::from_fn(1, 40, |_, _| 1.0);
+    b_long.set(0, 0, f32::NAN);
+    for kernel in [GemmKernel::Avx2, GemmKernel::Fma] {
+        if !kernel.is_available() {
+            continue;
+        }
+        let mut out = Matrix::zeros(1, 17);
+        a.matmul_into_with(&b, &mut out, kernel);
+        assert!(out.get(0, 0).is_nan(), "{kernel:?}: matmul 0·NaN");
+        assert!(out.get(0, 16).is_nan(), "{kernel:?}: matmul 0·∞");
+
+        let at = a.transpose(); // 2×1, so atᵀ·b == a·b
+        let mut out_t = Matrix::zeros(1, 17);
+        at.transpose_matmul_into_with(&b, &mut out_t, kernel);
+        assert!(out_t.get(0, 0).is_nan(), "{kernel:?}: transpose_matmul 0·NaN");
+        assert!(out_t.get(0, 16).is_nan(), "{kernel:?}: transpose_matmul 0·∞");
+
+        let mut out_mt = Matrix::zeros(1, 1);
+        a_long.matmul_transpose_into_with(&b_long, &mut out_mt, kernel);
+        assert!(out_mt.get(0, 0).is_nan(), "{kernel:?}: matmul_transpose 0·NaN");
+    }
+}
+
+/// End-to-end decision agreement on the paper architecture: int8
+/// quantized logits pick the same greedy action as f32 on nearly all
+/// random observations. The serve-plane contract (recorded corpus,
+/// pinned threshold) lives in `dosco_serve`; this is the nn-level sanity
+/// bound with a generous margin.
+#[test]
+fn quantized_argmax_agrees_with_f32_on_random_observations() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let net = Mlp::paper_arch(24, 6, &mut rng);
+    let q = QuantizedMlp::from_mlp(&net);
+    let n = 512;
+    let x = rand_matrix(n, 24, &mut rng);
+    let exact = Categorical::new(&net.forward(&x)).argmax();
+    let approx = Categorical::new(&q.forward(&x)).argmax();
+    let agree = exact.iter().zip(&approx).filter(|(a, b)| a == b).count();
+    assert!(
+        agree as f64 >= 0.95 * n as f64,
+        "argmax agreement {agree}/{n} below 95%"
+    );
+}

@@ -29,6 +29,7 @@ use crate::shard::{
     run_shard, shard_of, DecisionRequest, DecisionResponse, ShardMsg, ShardWorker,
 };
 use crate::status::{FabricStatus, ShardStatus, StatusBoard};
+use crossbeam::channel::TryRecvError;
 use crossbeam::thread::{Scope, ScopedJoinHandle};
 use dosco_core::policy::PolicyMetadata;
 use dosco_core::CoordinationPolicy;
@@ -40,7 +41,14 @@ use dosco_simnet::{Action, Metrics, ScenarioConfig, Simulation};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Default [`ServeConfig::gather_stall`]: how long a flush barrier may
+/// go unanswered before every shard still owing a batch is declared
+/// dead and its decisions fall back. Batches are at most one row per
+/// episode, so a healthy shard answers in microseconds; ten seconds of
+/// silence means the peer is gone.
+pub const GATHER_STALL: Duration = Duration::from_secs(10);
 
 /// Configuration of the serving fabric.
 #[derive(Debug, Clone)]
@@ -54,6 +62,12 @@ pub struct ServeConfig {
     /// `Some(seed)` samples actions from per-node RNG streams
     /// (`per_node_seed(seed, node)`); `None` serves greedy argmax.
     pub stochastic_seed: Option<u64>,
+    /// Serve batched decisions from int8-quantized weights
+    /// ([`dosco_nn::QuantizedMlp`]). Greedy-only: the contract is argmax
+    /// agreement on logits, not bit-identical probabilities, so
+    /// [`ServeConfig::validate`] rejects combining this with
+    /// `stochastic_seed`.
+    pub quantized: bool,
     /// Epoch-scripted fault injection.
     pub faults: FaultScript,
     /// Control-plane directive queue, drained at every epoch boundary
@@ -69,6 +83,12 @@ pub struct ServeConfig {
     /// applied decision stays accounted) and returns the partial outcome.
     /// `None` (the default) costs one `Option` check per epoch.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// How long a flush barrier may go unanswered before the shards
+    /// still owing a batch are declared dead and their routed decisions
+    /// fall back to shortest-path. Batches are at most one row per
+    /// episode, so a healthy shard answers in microseconds; the default
+    /// ([`GATHER_STALL`], 10 s) means the peer is gone.
+    pub gather_stall: Duration,
 }
 
 /// Attachments compare by identity: two configs are equal when they
@@ -85,10 +105,12 @@ impl PartialEq for ServeConfig {
         self.num_shards == other.num_shards
             && self.mailbox_capacity == other.mailbox_capacity
             && self.stochastic_seed == other.stochastic_seed
+            && self.quantized == other.quantized
             && self.faults == other.faults
             && same(&self.control, &other.control)
             && same(&self.status, &other.status)
             && same(&self.cancel, &other.cancel)
+            && self.gather_stall == other.gather_stall
     }
 }
 
@@ -101,10 +123,12 @@ impl ServeConfig {
             num_shards,
             mailbox_capacity: 64,
             stochastic_seed: None,
+            quantized: false,
             faults: FaultScript::new(),
             control: None,
             status: None,
             cancel: None,
+            gather_stall: GATHER_STALL,
         }
     }
 
@@ -136,6 +160,13 @@ impl ServeConfig {
         self
     }
 
+    /// Switches batched forwards to the int8-quantized inference path.
+    #[must_use]
+    pub fn with_quantized(mut self) -> Self {
+        self.quantized = true;
+        self
+    }
+
     /// Installs a fault script.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultScript) -> Self {
@@ -154,6 +185,16 @@ impl ServeConfig {
         }
         if self.mailbox_capacity < 2 {
             return Err("mailbox_capacity must be at least 2".into());
+        }
+        if self.gather_stall.is_zero() {
+            return Err("gather_stall must be non-zero".into());
+        }
+        if self.quantized && self.stochastic_seed.is_some() {
+            return Err(
+                "quantized serving is greedy-only: its contract is argmax agreement, \
+                 which says nothing about the sampled distribution"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -183,6 +224,11 @@ pub struct ServeReport {
     /// Shards respawned after kill windows (re-synced to the latest
     /// published version).
     pub shard_respawns: u64,
+    /// Shards lost to a dead transport (send failed or a barrier went
+    /// unanswered past the stall deadline). Unlike fault-script kills,
+    /// a disconnected shard is never respawned — its decisions fall
+    /// back to shortest-path for the rest of the run.
+    pub shard_disconnects: u64,
     /// Largest batched forward, in rows.
     pub max_batch_rows: u64,
     /// Policy version the fabric ended on.
@@ -238,12 +284,35 @@ pub(crate) struct ShardHandle<'scope> {
     pub(crate) join: Option<ScopedJoinHandle<'scope, ()>>,
     /// Policy version last delivered to this shard.
     pub(crate) version: u64,
+    /// The shard's transport died (send failure, launch failure, or a
+    /// stalled barrier). A dead shard is never respawned: the peer is
+    /// gone, not scripted to come back like a fault-window kill.
+    pub(crate) dead: bool,
 }
 
 impl ShardHandle<'_> {
     fn alive(&self) -> bool {
         self.tx.is_some()
     }
+
+    /// A handle for a shard that could not be launched or whose
+    /// transport failed: routes fall back immediately, never respawns.
+    pub(crate) fn dead(version: u64) -> Self {
+        ShardHandle {
+            tx: None,
+            join: None,
+            version,
+            dead: true,
+        }
+    }
+}
+
+/// Marks a shard's transport as dead: drops the mailbox (so routing
+/// falls back), suppresses respawn, and counts the disconnect.
+fn disconnect(h: &mut ShardHandle<'_>, report: &mut ServeReport) {
+    h.tx = None;
+    h.dead = true;
+    report.shard_disconnects += 1;
 }
 
 /// How the frontend brings shard `index` up with a starting policy:
@@ -283,6 +352,7 @@ where
         let (tx, rx) = Transport::<ShardMsg>::channel(self.transport, self.cfg.mailbox_capacity);
         let responses = self.resp_tx.clone_box();
         let stochastic_seed = self.cfg.stochastic_seed;
+        let quantized = self.cfg.quantized;
         let (num_shards, num_nodes) = (self.num_shards, self.num_nodes);
         let join = self.scope.spawn(move |_| {
             run_shard(ShardWorker {
@@ -290,6 +360,7 @@ where
                 num_shards,
                 num_nodes,
                 stochastic_seed,
+                quantized,
                 policy,
                 version,
                 mailbox: rx,
@@ -300,6 +371,34 @@ where
             tx: Some(tx),
             join: Some(join),
             version,
+            dead: false,
+        }
+    }
+}
+
+/// Falls back every still-unanswered decision routed to `shard` this
+/// epoch: its transport died between route and response, so the stored
+/// decision points are answered by shortest-path coordination instead.
+#[allow(clippy::too_many_arguments)]
+fn fall_back_routed(
+    shard: usize,
+    sims: &[Simulation],
+    dps: &mut [Option<dosco_simnet::DecisionPoint>],
+    routed_to: &mut [Option<usize>],
+    actions: &mut [Option<Action>],
+    report: &mut ServeReport,
+    shard_fallback: &mut [u64],
+    expected: &mut usize,
+) {
+    for e in 0..sims.len() {
+        if routed_to[e] == Some(shard) && actions[e].is_none() {
+            let dp = dps[e].take().expect("routed episode has a decision point");
+            routed_to[e] = None;
+            actions[e] = Some(dosco_baselines::sp_action(&sims[e], &dp));
+            report.fallback_decisions += 1;
+            shard_fallback[shard] += 1;
+            *expected -= 1;
+            registry::count(CounterKind::ServeFallbacks, 1);
         }
     }
 }
@@ -463,6 +562,11 @@ pub(crate) fn serve_core<'scope>(
     let mut actions: Vec<Option<Action>> = vec![None; episodes];
     let mut starts: Vec<Option<Instant>> = vec![None; episodes];
     let mut routed = vec![false; num_shards];
+    // Per-epoch record of what was routed where: enough to answer any
+    // routed decision with the shortest-path fallback if the owning
+    // shard's transport dies between route and response.
+    let mut dps: Vec<Option<dosco_simnet::DecisionPoint>> = vec![None; episodes];
+    let mut routed_to: Vec<Option<usize>> = vec![None; episodes];
     let mut events_scratch = Vec::new();
     let mut shard_batched = vec![0u64; num_shards];
     let mut shard_fallback = vec![0u64; num_shards];
@@ -538,21 +642,31 @@ pub(crate) fn serve_core<'scope>(
                 let (want, want_version) = &desired[i];
                 if !h.alive() {
                     // Window end: respawn, re-synced to the shard's
-                    // desired policy (fresh mailbox, fresh state).
-                    *h = launcher.launch(i, Arc::clone(want), *want_version);
-                    report.shard_respawns += 1;
+                    // desired policy (fresh mailbox, fresh state). A
+                    // *disconnected* shard is not respawned — the peer
+                    // is gone, not scripted to return.
+                    if !h.dead {
+                        *h = launcher.launch(i, Arc::clone(want), *want_version);
+                        report.shard_respawns += 1;
+                    }
                 } else if h.version != *want_version {
                     // Reachable shard lagging its desired policy:
                     // deliver the swap at this boundary (covers the
                     // global broadcast, targeted publishes, rollback
                     // republishes, and post-delay re-sync).
                     let tx = h.tx.as_ref().expect("alive shard has a mailbox");
-                    tx.send(ShardMsg::Swap {
-                        policy: Arc::clone(want),
-                        version: *want_version,
-                    })
-                    .expect("shard mailbox open");
-                    h.version = *want_version;
+                    if tx
+                        .send(ShardMsg::Swap {
+                            policy: Arc::clone(want),
+                            version: *want_version,
+                        })
+                        .is_ok()
+                    {
+                        h.version = *want_version;
+                    } else {
+                        // Dead peer mid-swap: degrade, don't panic.
+                        disconnect(h, &mut report);
+                    }
                 }
             }
         }
@@ -599,6 +713,8 @@ pub(crate) fn serve_core<'scope>(
         let mut expected = 0usize;
         let mut fell_back = 0u64;
         routed.fill(false);
+        dps.fill(None);
+        routed_to.fill(None);
         for e in 0..episodes {
             if !live[e] {
                 continue;
@@ -616,7 +732,32 @@ pub(crate) fn serve_core<'scope>(
                 starts[e] = Some(Instant::now());
             }
             let owner = shard_of(dp.node.0, num_shards);
-            if states[owner].is_some() || !shards[owner].alive() {
+            let mut fall_back = states[owner].is_some() || !shards[owner].alive();
+            if !fall_back {
+                let obs = adapter.observe(sim, &dp);
+                let tx = shards[owner].tx.as_ref().expect("alive shard has a mailbox");
+                if tx
+                    .send(ShardMsg::Request(DecisionRequest {
+                        id: next_id,
+                        episode: e,
+                        node: dp.node,
+                        obs,
+                    }))
+                    .is_ok()
+                {
+                    next_id += 1;
+                    expected += 1;
+                    routed[owner] = true;
+                    dps[e] = Some(dp);
+                    routed_to[e] = Some(owner);
+                } else {
+                    // Dead peer discovered on route: degrade this (and
+                    // every later) decision for the shard, don't panic.
+                    disconnect(&mut shards[owner], &mut report);
+                    fall_back = true;
+                }
+            }
+            if fall_back {
                 // Graceful degradation: the decision is answered now
                 // by shortest-path coordination and counted — never
                 // silently dropped.
@@ -625,19 +766,6 @@ pub(crate) fn serve_core<'scope>(
                 shard_fallback[owner] += 1;
                 fell_back += 1;
                 registry::count(CounterKind::ServeFallbacks, 1);
-            } else {
-                let obs = adapter.observe(sim, &dp);
-                let tx = shards[owner].tx.as_ref().expect("alive shard has a mailbox");
-                tx.send(ShardMsg::Request(DecisionRequest {
-                    id: next_id,
-                    episode: e,
-                    node: dp.node,
-                    obs,
-                }))
-                .expect("shard mailbox open");
-                next_id += 1;
-                expected += 1;
-                routed[owner] = true;
             }
         }
         if expected == 0 && fell_back == 0 {
@@ -647,24 +775,93 @@ pub(crate) fn serve_core<'scope>(
         }
 
         // -- Flush barriers, then gather one answer batch per routed
-        // shard (exactly `expected` responses in total).
-        let routed_shards = routed.iter().filter(|&&r| r).count();
-        for (i, shard) in shards.iter().enumerate() {
+        // shard (exactly `expected` responses in total). A shard whose
+        // transport dies at the barrier — or that never answers within
+        // the stall deadline — is marked dead and its routed decisions
+        // fall back to shortest-path; the epoch still completes.
+        for i in 0..num_shards {
             if routed[i] {
-                let tx = shard.tx.as_ref().expect("routed shard is alive");
-                tx.send(ShardMsg::Flush { epoch }).expect("shard mailbox open");
+                let ok = shards[i]
+                    .tx
+                    .as_ref()
+                    .is_some_and(|tx| tx.send(ShardMsg::Flush { epoch }).is_ok());
+                if !ok {
+                    disconnect(&mut shards[i], &mut report);
+                    routed[i] = false;
+                    fall_back_routed(
+                        i,
+                        sims,
+                        &mut dps,
+                        &mut routed_to,
+                        &mut actions,
+                        &mut report,
+                        &mut shard_fallback,
+                        &mut expected,
+                    );
+                }
             }
         }
         let mut received = 0usize;
-        for _ in 0..routed_shards {
-            let answers = resp_rx.recv().expect("shard answered its barrier");
-            received += answers.len();
-            for resp in answers {
-                actions[resp.episode] = Some(Action::from_index(resp.action_index));
-                *by_version.entry(resp.version).or_insert(0) += 1;
-                report.batched_decisions += 1;
-                shard_batched[resp.shard] += 1;
-                report.max_batch_rows = report.max_batch_rows.max(resp.batch_rows as u64);
+        let mut waiting = routed.iter().filter(|&&r| r).count();
+        let mut last_progress = Instant::now();
+        let mut idle = 0u32;
+        while waiting > 0 {
+            match resp_rx.try_recv() {
+                Ok(answers) => {
+                    last_progress = Instant::now();
+                    idle = 0;
+                    // One batch per routed shard per barrier. A batch
+                    // from a shard no longer waited on is a straggler
+                    // from a barrier that already fell back (the shard
+                    // is dead; its decisions were answered) — dropped.
+                    if !answers.first().is_some_and(|r| routed[r.shard]) {
+                        continue;
+                    }
+                    routed[answers[0].shard] = false;
+                    waiting -= 1;
+                    received += answers.len();
+                    for resp in answers {
+                        actions[resp.episode] = Some(Action::from_index(resp.action_index));
+                        *by_version.entry(resp.version).or_insert(0) += 1;
+                        report.batched_decisions += 1;
+                        shard_batched[resp.shard] += 1;
+                        report.max_batch_rows = report.max_batch_rows.max(resp.batch_rows as u64);
+                    }
+                }
+                Err(e) => {
+                    let stalled = matches!(e, TryRecvError::Disconnected)
+                        || last_progress.elapsed() >= cfg.gather_stall;
+                    if stalled {
+                        // Residual window: a shard that dies *after* its
+                        // flush was delivered leaves nothing to read, so
+                        // the only signal is silence. Declare every
+                        // still-unanswered shard dead and degrade.
+                        for i in 0..num_shards {
+                            if routed[i] {
+                                disconnect(&mut shards[i], &mut report);
+                                routed[i] = false;
+                                fall_back_routed(
+                                    i,
+                                    sims,
+                                    &mut dps,
+                                    &mut routed_to,
+                                    &mut actions,
+                                    &mut report,
+                                    &mut shard_fallback,
+                                    &mut expected,
+                                );
+                            }
+                        }
+                        waiting = 0;
+                    } else if idle < 1024 {
+                        // Yield first: on a loaded machine the shard
+                        // thread needs this core to compute the batch.
+                        idle += 1;
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
             }
         }
         debug_assert_eq!(received, expected, "every routed request answered once");
@@ -746,6 +943,137 @@ mod tests {
         let mut c = ServeConfig::new(2);
         c.mailbox_capacity = 1;
         assert!(c.validate().is_err());
+        let mut c = ServeConfig::new(2);
+        c.gather_stall = Duration::ZERO;
+        assert!(c.validate().is_err());
+        // Quantized serving is greedy-only: the decision-equivalence
+        // contract is argmax agreement, which a sampled distribution
+        // does not inherit.
+        assert!(ServeConfig::new(2).with_quantized().validate().is_ok());
+        assert!(ServeConfig::new(2)
+            .with_quantized()
+            .with_stochastic_seed(7)
+            .validate()
+            .is_err());
+    }
+
+    /// Drives `serve_core` directly with a custom launcher (the trait is
+    /// crate-private), mirroring `serve_with_transport`'s wiring.
+    fn run_core(
+        launcher: &mut dyn ShardLauncher<'static>,
+        cfg: &ServeConfig,
+        num_shards: usize,
+    ) -> (Vec<Metrics>, ServeReport) {
+        let scenario = ScenarioConfig::paper_base(2).with_horizon(200.0);
+        let p = policy(scenario.topology.network_degree());
+        let mut sims: Vec<Simulation> = [1u64, 2]
+            .iter()
+            .map(|&s| Simulation::new(scenario.clone(), s))
+            .collect();
+        let (_resp_tx, resp_rx) =
+            Transport::<Vec<DecisionResponse>>::channel(&InProcess, num_shards + 1);
+        serve_core(
+            &p,
+            None,
+            &mut sims,
+            num_shards,
+            cfg,
+            launcher,
+            resp_rx.as_ref(),
+            &mut |_| {},
+        )
+    }
+
+    /// Shards that cannot even be launched (e.g. a remote connection
+    /// that failed its handshake) must degrade to the shortest-path
+    /// fallback, not panic the frontend.
+    #[test]
+    fn dead_on_arrival_shards_degrade_to_fallback() {
+        struct DeadLauncher;
+        impl ShardLauncher<'static> for DeadLauncher {
+            fn launch(
+                &mut self,
+                _index: usize,
+                _policy: Arc<CoordinationPolicy>,
+                version: u64,
+            ) -> ShardHandle<'static> {
+                ShardHandle::dead(version)
+            }
+        }
+        let (metrics, report) = run_core(&mut DeadLauncher, &ServeConfig::new(2), 2);
+        assert!(report.decisions > 0);
+        assert!(report.conserved());
+        assert_eq!(report.batched_decisions, 0);
+        assert_eq!(report.fallback_decisions, report.decisions);
+        // Dead handles are never respawned.
+        assert_eq!(report.shard_respawns, 0);
+        assert_eq!(metrics.len(), 2);
+    }
+
+    /// A transport that dies before the first routed request: the send
+    /// fails, the shard is marked disconnected, and every one of its
+    /// decisions is answered by the fallback.
+    #[test]
+    fn dead_transport_on_route_falls_back_without_panicking() {
+        struct DroppedRxLauncher;
+        impl ShardLauncher<'static> for DroppedRxLauncher {
+            fn launch(
+                &mut self,
+                _index: usize,
+                _policy: Arc<CoordinationPolicy>,
+                version: u64,
+            ) -> ShardHandle<'static> {
+                let (tx, rx) = Transport::<ShardMsg>::channel(&InProcess, 4);
+                drop(rx);
+                ShardHandle {
+                    tx: Some(tx),
+                    join: None,
+                    version,
+                    dead: false,
+                }
+            }
+        }
+        let (_, report) = run_core(&mut DroppedRxLauncher, &ServeConfig::new(2), 2);
+        assert!(report.conserved());
+        assert_eq!(report.batched_decisions, 0);
+        assert_eq!(report.fallback_decisions, report.decisions);
+        assert!(report.shard_disconnects >= 1);
+        assert_eq!(report.shard_respawns, 0);
+    }
+
+    /// A shard that swallows its requests and barrier without ever
+    /// answering: the gather loop stalls out, declares it dead, and the
+    /// routed decisions fall back from their stored decision points.
+    #[test]
+    fn unanswered_barrier_stalls_out_and_falls_back() {
+        struct SilentLauncher;
+        impl ShardLauncher<'static> for SilentLauncher {
+            fn launch(
+                &mut self,
+                _index: usize,
+                _policy: Arc<CoordinationPolicy>,
+                version: u64,
+            ) -> ShardHandle<'static> {
+                let (tx, rx) = Transport::<ShardMsg>::channel(&InProcess, 64);
+                // Consume everything, answer nothing: the frontend's
+                // only signal is silence at the barrier.
+                std::thread::spawn(move || while rx.recv().is_ok() {});
+                ShardHandle {
+                    tx: Some(tx),
+                    join: None,
+                    version,
+                    dead: false,
+                }
+            }
+        }
+        let mut cfg = ServeConfig::new(1);
+        cfg.gather_stall = Duration::from_millis(200);
+        let (_, report) = run_core(&mut SilentLauncher, &cfg, 1);
+        assert!(report.conserved());
+        assert_eq!(report.batched_decisions, 0);
+        assert_eq!(report.fallback_decisions, report.decisions);
+        assert_eq!(report.shard_disconnects, 1);
+        assert_eq!(report.shard_respawns, 0);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! and fallback/swap counters.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![warn(missing_debug_implementations)]
 
 pub mod control;
@@ -47,7 +48,9 @@ pub mod shard;
 pub mod status;
 
 pub use control::{ControlQueue, PublishCmd, PublishScope};
-pub use fabric::{serve, serve_with, serve_with_transport, ServeConfig, ServeOutcome, ServeReport};
+pub use fabric::{
+    serve, serve_with, serve_with_transport, ServeConfig, ServeOutcome, ServeReport, GATHER_STALL,
+};
 pub use fault::{FaultKind, FaultScript, FaultWindow};
 pub use remote::{run_remote_shard, FrontendServer, ShardInit};
 pub use shard::{shard_of, DecisionRequest, DecisionResponse, ShardMsg};

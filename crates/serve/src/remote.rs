@@ -49,6 +49,9 @@ pub struct ShardInit {
     pub num_nodes: u64,
     /// `Some(seed)` for stochastic serving, `None` for greedy.
     pub stochastic_seed: Option<u64>,
+    /// Serve from int8-quantized weights (greedy-only; see
+    /// [`ServeConfig::with_quantized`]).
+    pub quantized: bool,
     /// The policy to serve until the first [`ShardMsg::Swap`].
     pub policy: CoordinationPolicy,
     /// The snapshot version `policy` came from.
@@ -64,6 +67,7 @@ struct RemoteLauncher {
     num_shards: usize,
     num_nodes: usize,
     stochastic_seed: Option<u64>,
+    quantized: bool,
     fan_tx: Sender<Vec<DecisionResponse>>,
     forwarders: Vec<JoinHandle<()>>,
 }
@@ -76,21 +80,31 @@ impl ShardLauncher<'static> for RemoteLauncher {
         version: u64,
     ) -> ShardHandle<'static> {
         // With fault scripts rejected up front, the epoch loop launches
-        // each shard exactly once; a second launch is a logic error.
-        let stream = self.conns[index]
-            .take()
-            .expect("remote shards launch exactly once");
-        let read_half = stream.try_clone().expect("clone shard stream");
-        let mut init_half = stream.try_clone().expect("clone shard stream");
+        // each shard at most once; a handle that cannot be brought up
+        // (connection already consumed, clone or handshake failure) is
+        // returned dead — the epoch loop serves its nodes via the
+        // shortest-path fallback instead of panicking the frontend.
+        let Some(stream) = self.conns[index].take() else {
+            return ShardHandle::dead(version);
+        };
+        let Ok(read_half) = stream.try_clone() else {
+            return ShardHandle::dead(version);
+        };
+        let Ok(mut init_half) = stream.try_clone() else {
+            return ShardHandle::dead(version);
+        };
         let init = ShardInit {
             index: index as u64,
             num_shards: self.num_shards as u64,
             num_nodes: self.num_nodes as u64,
             stochastic_seed: self.stochastic_seed,
+            quantized: self.quantized,
             policy: (*policy).clone(),
             version,
         };
-        write_frame(&mut init_half, &dosco_net::encode_msg(&init)).expect("send ShardInit");
+        if write_frame(&mut init_half, &dosco_net::encode_msg(&init)).is_err() {
+            return ShardHandle::dead(version);
+        }
         let tx = sender_on::<ShardMsg>(stream, self.capacity);
         let rx = receiver_on::<Vec<DecisionResponse>>(read_half, self.capacity);
         let fan = self.fan_tx.clone();
@@ -105,6 +119,7 @@ impl ShardLauncher<'static> for RemoteLauncher {
             tx: Some(tx),
             join: None,
             version,
+            dead: false,
         }
     }
 }
@@ -157,8 +172,11 @@ impl FrontendServer {
     ///
     /// # Panics
     ///
-    /// As [`crate::serve_with`] (invalid configuration, no episodes), or
-    /// if a shard connection dies mid-run.
+    /// As [`crate::serve_with`] (invalid configuration, no episodes).
+    /// A shard connection dying mid-run does *not* panic: the frontend
+    /// marks the shard dead and serves its nodes via the shortest-path
+    /// fallback for the rest of the run (counted in
+    /// [`ServeReport::shard_disconnects`](crate::ServeReport)).
     pub fn serve(
         &self,
         policy: &CoordinationPolicy,
@@ -202,6 +220,7 @@ impl FrontendServer {
             num_shards,
             num_nodes,
             stochastic_seed: cfg.stochastic_seed,
+            quantized: cfg.quantized,
             fan_tx,
             forwarders: Vec::new(),
         };
@@ -221,7 +240,9 @@ impl FrontendServer {
         // dropped the mailboxes); the connections close behind them, the
         // receivers see EOF, and the forwarders drain out.
         for f in launcher.forwarders {
-            f.join().expect("response forwarder");
+            if f.join().is_err() {
+                return Err(NetError::Protocol("response forwarder panicked".into()));
+            }
         }
 
         assert!(
@@ -257,11 +278,15 @@ pub fn run_remote_shard(addr: &str, net: &NetConfig) -> Result<(), NetError> {
         .map_err(|e| io_protocol("clone frontend stream", &e))?;
     let mailbox = receiver_on::<ShardMsg>(read_half, net.capacity);
     let responses = sender_on::<Vec<DecisionResponse>>(stream, net.capacity);
+    let dim = |what: &str, v: u64| {
+        usize::try_from(v).map_err(|e| io_protocol(what, &format!("{v}: {e}")))
+    };
     run_shard(ShardWorker {
-        index: usize::try_from(init.index).expect("shard index fits usize"),
-        num_shards: usize::try_from(init.num_shards).expect("shard count fits usize"),
-        num_nodes: usize::try_from(init.num_nodes).expect("node count fits usize"),
+        index: dim("ShardInit.index", init.index)?,
+        num_shards: dim("ShardInit.num_shards", init.num_shards)?,
+        num_nodes: dim("ShardInit.num_nodes", init.num_nodes)?,
         stochastic_seed: init.stochastic_seed,
+        quantized: init.quantized,
         policy: Arc::new(init.policy),
         version: init.version,
         mailbox,

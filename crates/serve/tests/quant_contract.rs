@@ -1,0 +1,270 @@
+//! The quantized-serving decision-equivalence contract.
+//!
+//! Int8 serving is gated by *decision equivalence*, not bit-identity:
+//! on a recorded observation corpus (a committed fixture of real
+//! decision-point observations, f32 values stored as exact u32 bit
+//! patterns), the quantized policy's greedy argmax must agree with the
+//! fp32 policy on at least [`AGREEMENT_THRESHOLD`] of rows. End-to-end
+//! metric deltas between an fp32 and an int8 serve run are computed
+//! exactly and asserted against honest bounds — the contract reports
+//! what quantization actually changes rather than pretending it changes
+//! nothing.
+
+use dosco_core::policy::PolicyMetadata;
+use dosco_core::CoordinationPolicy;
+use dosco_nn::matrix::Matrix;
+use dosco_nn::mlp::{Activation, Mlp};
+use dosco_nn::{Categorical, QuantizedMlp};
+use dosco_serve::{serve, ServeConfig};
+use dosco_simnet::{Action, Coordinator, DecisionPoint, ScenarioConfig, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Minimum greedy-argmax agreement between the fp32 and int8 policy on
+/// the recorded corpus. Pinned from a measured run: 1233/1296 = 0.9514
+/// with the seed-11 random-weights policy, whose logit margins are far
+/// tighter than a trained policy's (random logits cluster near zero, so
+/// rows sit close to decision boundaries). A regression below this
+/// means the quantizer got worse, not that the corpus drifted — the
+/// corpus is a committed fixture.
+const AGREEMENT_THRESHOLD: f64 = 0.95;
+
+/// The policy seed the corpus was recorded against. The corpus pins the
+/// *observations*; the policy is cheap to rebuild deterministically.
+const POLICY_SEED: u64 = 11;
+
+/// Episode seeds used both to record the corpus and for the end-to-end
+/// fp32-vs-int8 serve comparison.
+const EPISODE_SEEDS: [u64; 3] = [3, 7, 13];
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig::paper_base(2).with_horizon(400.0)
+}
+
+fn policy(degree: usize) -> CoordinationPolicy {
+    let mut rng = StdRng::seed_from_u64(POLICY_SEED);
+    let actor = Mlp::new(&[4 * degree + 4, 24, degree + 1], Activation::Tanh, &mut rng);
+    CoordinationPolicy::new(actor, degree, PolicyMetadata::default())
+}
+
+/// The committed observation corpus: decision-point observations from
+/// real episodes, with every f32 stored as its exact u32 bit pattern so
+/// the fixture survives JSON round-trips bit-for-bit.
+#[derive(Debug, Serialize, Deserialize)]
+struct ObsCorpus {
+    format: String,
+    /// Network degree the observations were padded to.
+    degree: usize,
+    /// Policy seed the recording coordinator acted with.
+    policy_seed: u64,
+    /// Episode seeds the corpus was recorded from.
+    episode_seeds: Vec<u64>,
+    /// Observation rows, each f32 as `f32::to_bits`.
+    obs_bits: Vec<Vec<u32>>,
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("obs_corpus_v1.json")
+}
+
+fn load_corpus() -> ObsCorpus {
+    let path = fixture_path();
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading corpus fixture {}: {e}", path.display()));
+    let corpus: ObsCorpus = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("parsing corpus fixture {}: {e}", path.display()));
+    assert_eq!(corpus.format, "dosco-obs-corpus-v1");
+    assert!(
+        corpus.obs_bits.len() >= 256,
+        "corpus too small to be meaningful: {} rows",
+        corpus.obs_bits.len()
+    );
+    corpus
+}
+
+fn corpus_matrix(corpus: &ObsCorpus) -> Matrix {
+    let rows: Vec<Vec<f32>> = corpus
+        .obs_bits
+        .iter()
+        .map(|row| row.iter().map(|&b| f32::from_bits(b)).collect())
+        .collect();
+    let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+    Matrix::from_rows(&refs)
+}
+
+/// A coordinator that acts exactly like the greedy fp32 deployment but
+/// records each observation it decided from.
+struct RecordingAgent {
+    policy: CoordinationPolicy,
+    adapter: dosco_core::observe::ObservationAdapter,
+    obs: Vec<Vec<f32>>,
+}
+
+impl Coordinator for RecordingAgent {
+    fn decide(&mut self, sim: &Simulation, dp: &DecisionPoint) -> Action {
+        let obs = self.adapter.observe(sim, dp);
+        let action = Action::from_index(self.policy.act(&obs));
+        self.obs.push(obs);
+        action
+    }
+}
+
+/// Regenerates the committed corpus fixture. Run explicitly with
+/// `cargo test -p dosco-serve --test quant_contract -- --ignored` after
+/// an intentional observation-contract change, then commit the new
+/// fixture *and* re-measure [`AGREEMENT_THRESHOLD`].
+#[test]
+#[ignore = "regenerates the committed fixture; run manually"]
+fn record_observation_corpus() {
+    let scenario = scenario();
+    let mut rec = RecordingAgent {
+        policy: policy(scenario.topology.network_degree()),
+        adapter: policy(scenario.topology.network_degree()).adapter(),
+        obs: Vec::new(),
+    };
+    for &seed in &EPISODE_SEEDS {
+        let mut sim = Simulation::new(scenario.clone(), seed);
+        sim.run(&mut rec);
+    }
+    // Stride-sample down to a bounded fixture while keeping coverage of
+    // early, mid, and late-episode states.
+    let cap = 2048;
+    let stride = rec.obs.len().div_ceil(cap).max(1);
+    let sampled: Vec<Vec<u32>> = rec
+        .obs
+        .iter()
+        .step_by(stride)
+        .map(|row| row.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    let corpus = ObsCorpus {
+        format: "dosco-obs-corpus-v1".to_string(),
+        degree: scenario.topology.network_degree(),
+        policy_seed: POLICY_SEED,
+        episode_seeds: EPISODE_SEEDS.to_vec(),
+        obs_bits: sampled,
+    };
+    let json = serde_json::to_string(&corpus).expect("serialize corpus");
+    std::fs::write(fixture_path(), json).expect("write corpus fixture");
+    println!(
+        "recorded {} observations ({} sampled) to {}",
+        rec.obs.len(),
+        corpus.obs_bits.len(),
+        fixture_path().display()
+    );
+}
+
+/// The core contract: greedy argmax agreement between the fp32 actor
+/// and its int8 quantization on the recorded corpus stays at or above
+/// the pinned threshold.
+#[test]
+fn corpus_argmax_agreement_meets_pinned_threshold() {
+    let corpus = load_corpus();
+    let p = policy(corpus.degree);
+    let batch = corpus_matrix(&corpus);
+    assert_eq!(batch.cols(), p.actor().inputs(), "corpus dim drifted");
+
+    let quant = QuantizedMlp::from_mlp(p.actor());
+    // Both paths go through Categorical so tie-breaking is byte-for-byte
+    // the serving fabric's.
+    let fp32 = Categorical::new(&p.actor().forward(&batch)).argmax();
+    let int8 = Categorical::new(&quant.forward(&batch)).argmax();
+
+    let agree = fp32.iter().zip(&int8).filter(|(a, b)| a == b).count();
+    let agreement = agree as f64 / fp32.len() as f64;
+    println!(
+        "argmax agreement: {agree}/{} = {agreement:.4} (threshold {AGREEMENT_THRESHOLD})",
+        fp32.len()
+    );
+    assert!(
+        agreement >= AGREEMENT_THRESHOLD,
+        "int8 argmax agreement {agreement:.4} fell below the pinned contract \
+         {AGREEMENT_THRESHOLD} ({agree}/{} rows)",
+        fp32.len()
+    );
+}
+
+/// Quantized serving is deterministic (two identical runs are bitwise
+/// equal) and shard-count invariant — the relaxation is fp32-vs-int8
+/// only, never run-to-run.
+#[test]
+fn quantized_serving_is_deterministic_and_shard_count_invariant() {
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+    let cfg = |shards| ServeConfig::new(shards).with_quantized();
+
+    let a = serve(&p, None, &scenario, &EPISODE_SEEDS, &cfg(1));
+    let b = serve(&p, None, &scenario, &EPISODE_SEEDS, &cfg(1));
+    assert_eq!(a.metrics, b.metrics, "quantized serving must be deterministic");
+
+    let three = serve(&p, None, &scenario, &EPISODE_SEEDS, &cfg(3));
+    assert_eq!(
+        a.metrics, three.metrics,
+        "quantized serving must be shard-count invariant"
+    );
+    assert!(a.report.conserved() && three.report.conserved());
+    assert!(a.report.decisions > 0);
+}
+
+/// The honest end-to-end comparison: run the same episodes fp32 and
+/// int8 and report the *exact* per-episode metric deltas. A flipped
+/// decision compounds over a 400-time-unit horizon, so episode outcomes
+/// can differ substantially even at 95% per-decision agreement — the
+/// equivalence contract lives on the corpus argmax test above; this
+/// test asserts the structural invariants that must survive
+/// quantization (identical arrivals, decision conservation, exact
+/// reproducibility of the deltas) and prints the deltas it measured.
+#[test]
+fn fp32_vs_int8_serve_metric_deltas_are_exact_and_reported() {
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+
+    let fp32 = serve(&p, None, &scenario, &EPISODE_SEEDS, &ServeConfig::new(2));
+    let int8 = serve(
+        &p,
+        None,
+        &scenario,
+        &EPISODE_SEEDS,
+        &ServeConfig::new(2).with_quantized(),
+    );
+    assert!(fp32.report.conserved() && int8.report.conserved());
+    assert!(int8.report.decisions > 0);
+
+    for (i, (f, q)) in fp32.metrics.iter().zip(&int8.metrics).enumerate() {
+        // Exact integer deltas — no tolerance hides what changed.
+        let d_completed = q.completed as i64 - f.completed as i64;
+        let d_dropped = q.dropped_total() as i64 - f.dropped_total() as i64;
+        let d_decisions = q.decisions as i64 - f.decisions as i64;
+        println!(
+            "episode {i} (seed {}): completed {} -> {} ({d_completed:+}), \
+             dropped {} -> {} ({d_dropped:+}), decisions {} -> {} ({d_decisions:+}), \
+             success {:.4} -> {:.4}",
+            EPISODE_SEEDS[i],
+            f.completed,
+            q.completed,
+            f.dropped_total(),
+            q.dropped_total(),
+            f.decisions,
+            q.decisions,
+            f.success_ratio(),
+            q.success_ratio()
+        );
+        assert_eq!(f.arrived, q.arrived, "arrivals are seed-driven, not policy-driven");
+    }
+
+    // The deltas themselves are deterministic: a second int8 run
+    // reproduces every episode outcome bitwise, so the numbers printed
+    // above are facts about this (policy, scenario, seeds) triple, not
+    // samples from a distribution.
+    let int8_again = serve(
+        &p,
+        None,
+        &scenario,
+        &EPISODE_SEEDS,
+        &ServeConfig::new(2).with_quantized(),
+    );
+    assert_eq!(int8.metrics, int8_again.metrics, "int8 deltas must be reproducible");
+}

@@ -16,8 +16,11 @@ cargo test -q -p dosco-runtime
 echo "== cargo test (observability layer) =="
 cargo test -q -p dosco-obs
 
-echo "== cargo test (serving fabric) =="
-cargo test -q -p dosco-serve
+echo "== cargo test (nn + serve, DOSCO_SIMD=off: scalar reference kernels) =="
+DOSCO_SIMD=off cargo test -q -p dosco-nn -p dosco-serve
+
+echo "== cargo test (nn + serve, DOSCO_SIMD unset: auto SIMD dispatch) =="
+cargo test -q -p dosco-nn -p dosco-serve
 
 echo "== cargo test (control plane) =="
 cargo test -q -p dosco-ctl
