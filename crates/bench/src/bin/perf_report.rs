@@ -18,8 +18,11 @@
 //! trips vs in-process export, registry publish/load vs a bare policy
 //! save), and the transport layer (`dosco_net`: in-process channels vs
 //! framed loopback-TCP socket channels, both raw batch hand-off and a
-//! full sync training run whose socket result is bit-identical), then
-//! writes `BENCH_PR9.json` at the repo root (or `--out <path>`).
+//! full sync training run whose socket result is bit-identical), and the
+//! chaos subsystem (`dosco_chaos`: simulator throughput with substrate
+//! churn on vs off, and the shortest-path recompute cost paid at each
+//! churn epoch under the topology-version cache), then
+//! writes `BENCH_PR10.json` at the repo root (or `--out <path>`).
 //!
 //! Span timers are armed for the whole run, so the report also embeds an
 //! `obs` snapshot: per-kind span totals (GEMM, K-FAC, rollout collection,
@@ -905,9 +908,91 @@ fn net_sync_training(note: &str) -> BenchRecord {
     )
 }
 
+/// Simulator throughput with substrate churn on vs off: the same
+/// 10x10-grid scenario (10k steady-state concurrent flows) driven by SP,
+/// once on the static substrate and once under a stochastic per-link
+/// failure process. The candidate pays event application, flow killing,
+/// and a shortest-path recompute at every routing-affecting epoch; the
+/// note carries the measured events/sec on both sides plus the applied
+/// churn-event and recompute counts.
+fn chaos_churn_throughput(note: &str) -> BenchRecord {
+    let topo = dosco_topology::generators::grid(10, 10, 1.0, 1.0);
+    let cfg = churn_scenario(topo, 10.0, 1_000.0, 1_500.0);
+    let timeline = dosco_chaos::ChurnSchedule::none()
+        .with_stochastic(
+            dosco_chaos::StochasticChurn::default().with_link_failures(500.0, 50.0),
+        )
+        .compile(&cfg.topology, cfg.horizon, 3)
+        .expect("valid schedule");
+
+    let run = |timeline: Option<&dosco_simnet::ChurnTimeline>| {
+        let mut events = 0u64;
+        let mut applied = 0u64;
+        let mut recomputes = 0u64;
+        let ms = time_ms(2, || {
+            let mut sim = match timeline {
+                Some(t) => dosco_simnet::Simulation::with_churn(cfg.clone(), 7, t.clone()),
+                None => dosco_simnet::Simulation::new(cfg.clone(), 7),
+            };
+            let mut watch = ChurnWatch::new(0.0);
+            sim.run(&mut watch);
+            events = watch.events_seen;
+            if let Some(stats) = sim.churn_stats() {
+                applied = stats.events_applied;
+                recomputes = stats.sp_recomputes;
+            }
+            sim.metrics().arrived
+        });
+        (ms, events, applied, recomputes)
+    };
+    let (off_ms, off_events, _, _) = run(None);
+    let (on_ms, on_events, applied, recomputes) = run(Some(&timeline));
+    BenchRecord::new(
+        "chaos/churn-on-vs-off-grid-10x10",
+        "static substrate",
+        "stochastic link failures (mtbf 500, mttr 50)",
+        off_ms,
+        on_ms,
+        &format!(
+            "{note}; off: {:.0} events/sec, on: {:.0} events/sec across \
+             {applied} applied churn events and {recomputes} SP recomputes",
+            off_events as f64 / (off_ms / 1e3),
+            on_events as f64 / (on_ms / 1e3),
+        ),
+    )
+}
+
+/// The cost of one churn epoch's path refresh: a fresh all-pairs
+/// computation on the pristine topology vs `compute_masked` over the
+/// up/down masks and effective delays — the exact call the simulator
+/// issues when a routing-affecting churn event bumps the topology
+/// version. Capacity-only degradations skip this entirely.
+fn chaos_sp_recompute(note: &str) -> BenchRecord {
+    use dosco_topology::paths::ShortestPaths;
+    let topo = dosco_topology::generators::grid(10, 10, 1.0, 1.0);
+    let mut node_up = vec![true; topo.num_nodes()];
+    let mut link_up = vec![true; topo.num_links()];
+    let delays: Vec<f64> = topo.link_ids().map(|l| topo.link(l).delay).collect();
+    node_up[37] = false;
+    link_up[5] = false;
+    link_up[91] = false;
+    let fresh = time_ms(20, || ShortestPaths::compute(&topo));
+    let masked = time_ms(20, || {
+        ShortestPaths::compute_masked(&topo, &node_up, &link_up, &delays)
+    });
+    BenchRecord::new(
+        "chaos/sp-recompute-per-epoch-grid-10x10",
+        "fresh all-pairs compute",
+        "masked recompute at a churn epoch (1 node + 2 links down)",
+        fresh,
+        masked,
+        note,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PR10.json".to_string());
     // Arm span timers so the embedded obs snapshot covers the whole run.
     dosco_obs::set_spans_enabled(true);
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -1029,6 +1114,20 @@ fn main() {
         "registry adds a manifest write, a read-back verification on \
          publish, and a checksum cross-check on load",
     ));
+    eprintln!("[perf_report] chaos churn on vs off...");
+    records.push(chaos_churn_throughput(&format!(
+        "10k concurrent flows under SP on a {host}-core host, serial wall \
+         clock; churn adds per-event victim scans and epoch recomputes, \
+         so <1x is the honest expectation — the record prices fault \
+         injection, not a speedup"
+    )));
+    eprintln!("[perf_report] chaos SP recompute per epoch...");
+    records.push(chaos_sp_recompute(&format!(
+        "single-threaded Floyd-Warshall on a {host}-core host; both sides \
+         are O(n^3) on 100 nodes — the point is the absolute per-epoch \
+         cost, paid only when a churn event affects routing (the \
+         topology-version cache skips capacity-only degradations)"
+    )));
 
     let report = BenchReport {
         generated_by: "dosco-bench perf_report".to_string(),

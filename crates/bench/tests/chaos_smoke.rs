@@ -1,0 +1,55 @@
+//! Release-mode smoke gate for the chaos subsystem at scale.
+//!
+//! Drives the 10x10-grid scenario (~10k steady-state concurrent flows)
+//! under a stochastic per-link failure process and asserts that
+//!
+//! - the run finishes inside a bounded wall clock (fault application,
+//!   victim killing, and per-epoch path recomputes stay sub-linear),
+//! - churn really happened (events applied, paths recomputed, flows
+//!   killed), and
+//! - flow conservation holds through every fault and repair: every
+//!   arrived flow either completed, dropped, or is still live at the
+//!   horizon.
+//!
+//! Ignored by default so plain `cargo test` (debug) stays fast;
+//! `scripts/check.sh` runs it with `--release -- --include-ignored`.
+
+use dosco_bench::scenarios::churn_scenario;
+use dosco_chaos::{ChurnSchedule, StochasticChurn};
+use dosco_simnet::Simulation;
+use std::time::Instant;
+
+#[test]
+#[ignore = "release-mode smoke gate; run via scripts/check.sh"]
+fn substrate_churn_smoke_is_bounded_and_conserves_flows() {
+    let topo = dosco_topology::generators::grid(10, 10, 1.0, 1.0);
+    let cfg = churn_scenario(topo, 10.0, 1_000.0, 1_500.0);
+    let timeline = ChurnSchedule::none()
+        .with_stochastic(StochasticChurn::default().with_link_failures(500.0, 50.0))
+        .compile(&cfg.topology, cfg.horizon, 3)
+        .expect("valid schedule");
+
+    let t = Instant::now();
+    let mut sim = Simulation::with_churn(cfg, 7, timeline);
+    sim.run(&mut dosco_baselines::ShortestPath::new());
+    let elapsed = t.elapsed();
+
+    let m = sim.metrics().clone();
+    let stats = *sim.churn_stats().expect("churn was active");
+    assert!(stats.events_applied > 50, "churn must actually fire");
+    assert!(stats.sp_recomputes > 50, "failures affect routing");
+    assert!(stats.flows_killed_link > 0, "in-transit victims exist");
+    assert!(m.completed > 0, "service survives between faults");
+    assert_eq!(
+        m.arrived,
+        m.completed + m.dropped.values().sum::<u64>() + sim.live_flows() as u64,
+        "conservation through every fault and repair"
+    );
+    // Generous bound (~10x observed): a tripwire for superlinear victim
+    // scans or per-event path recomputes, not a perf SLO.
+    assert!(
+        elapsed.as_secs() < 120,
+        "substrate churn smoke took {elapsed:?}; fault application has \
+         regressed superlinearly"
+    );
+}

@@ -2,7 +2,7 @@
 //! success-ratio objective.
 
 use crate::policy::{CoordinationPolicy, DistributedAgents};
-use dosco_simnet::{Metrics, ScenarioConfig, Simulation};
+use dosco_simnet::{ChurnTimeline, EventLog, Metrics, ScenarioConfig, SimEvent, Simulation};
 
 /// Runs one full episode of `scenario` with `policy` deployed at every
 /// node (greedy, fully distributed inference) and returns the metrics.
@@ -15,6 +15,27 @@ pub fn evaluate(policy: &CoordinationPolicy, scenario: &ScenarioConfig, seed: u6
     let mut agents = DistributedAgents::deploy(policy, scenario.topology.num_nodes());
     let mut sim = Simulation::new(scenario.clone(), seed);
     sim.run(&mut agents).clone()
+}
+
+/// Like [`evaluate`], but on a churning substrate: the compiled fault
+/// `timeline` is injected into the episode, and the full event stream is
+/// returned alongside the metrics so callers can build a resilience
+/// report (`dosco_chaos::resilience_report`) around the fault windows.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`evaluate`].
+pub fn evaluate_under_churn(
+    policy: &CoordinationPolicy,
+    scenario: &ScenarioConfig,
+    seed: u64,
+    timeline: ChurnTimeline,
+) -> (Metrics, Vec<SimEvent>) {
+    let agents = DistributedAgents::deploy(policy, scenario.topology.num_nodes());
+    let mut log = EventLog::new(agents);
+    let mut sim = Simulation::with_churn(scenario.clone(), seed, timeline);
+    let metrics = sim.run(&mut log).clone();
+    (metrics, log.into_events())
 }
 
 /// Like [`evaluate`], but first re-draws the random capacity assignment

@@ -8,6 +8,7 @@
 
 use crate::observe::ObservationAdapter;
 use crate::reward::RewardConfig;
+use dosco_chaos::ChurnSchedule;
 use dosco_rl::env::{Env, StepResult};
 use dosco_simnet::{Action, ScenarioConfig, SimEvent, Simulation};
 
@@ -33,6 +34,9 @@ pub struct CoordEnv {
     /// Re-draw node/link capacities each episode (curriculum over
     /// scenario draws; harder but matches the seeded evaluation protocol).
     resample_capacities: bool,
+    /// Substrate churn injected into every episode; `None` trains on a
+    /// static substrate (bit-identical to the pre-churn environment).
+    churn: Option<ChurnSchedule>,
 }
 
 impl CoordEnv {
@@ -69,6 +73,7 @@ impl CoordEnv {
             diameter,
             events_buf: Vec::new(),
             resample_capacities: true,
+            churn: None,
         }
     }
 
@@ -78,6 +83,31 @@ impl CoordEnv {
     pub fn with_fixed_capacities(mut self) -> Self {
         self.resample_capacities = false;
         self
+    }
+
+    /// Injects substrate churn into every episode: the schedule is
+    /// recompiled per episode with a seed derived from the episode seed,
+    /// so stochastic churn varies across episodes exactly like traffic
+    /// does. [`ChurnSchedule::none`] leaves the environment bit-identical
+    /// to a churn-free one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not validate against the scenario
+    /// topology (see [`dosco_chaos::ChurnError`]); catching this at
+    /// construction keeps the training loop itself infallible.
+    pub fn with_churn(mut self, churn: ChurnSchedule) -> Self {
+        if let Err(e) = churn.compile(&self.scenario.topology, self.scenario.horizon, 0) {
+            panic!("invalid churn schedule: {e}");
+        }
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Churn statistics of the current episode (`None` on a static
+    /// substrate or before the first churn-enabled reset).
+    pub fn churn_stats(&self) -> Option<&dosco_simnet::ChurnStats> {
+        self.sim.churn_stats()
     }
 
     /// The observation adapter in use.
@@ -108,7 +138,17 @@ impl CoordEnv {
                 .topology
                 .assign_random_capacities(&mut rng, (0.0, 2.0), (1.0, 5.0));
         }
-        self.sim = Simulation::new(scenario, seed);
+        self.sim = match &self.churn {
+            Some(schedule) => {
+                // A distinct stream from the traffic/capacity seeds, so
+                // enabling churn never perturbs arrivals or capacities.
+                let timeline = schedule
+                    .compile(&scenario.topology, scenario.horizon, seed ^ 0xC0A5)
+                    .expect("schedule validated in with_churn");
+                Simulation::with_churn(scenario, seed, timeline)
+            }
+            None => Simulation::new(scenario, seed),
+        };
         self.sim.drain_events_into(&mut self.events_buf);
         let dp = self
             .sim
@@ -241,5 +281,57 @@ mod tests {
         let mut e = env();
         e.reset();
         e.step(99);
+    }
+
+    #[test]
+    fn empty_churn_schedule_is_identical() {
+        let run = |mut e: CoordEnv| {
+            let mut out = vec![(e.reset(), 0.0)];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            for _ in 0..500 {
+                let a = rng.gen_range(0..e.num_actions());
+                let r = e.step(a);
+                out.push((r.obs, r.reward));
+            }
+            out
+        };
+        assert_eq!(run(env()), run(env().with_churn(ChurnSchedule::none())));
+    }
+
+    #[test]
+    fn churn_episodes_run_and_expose_stats() {
+        use dosco_chaos::StochasticChurn;
+        let schedule = ChurnSchedule::none()
+            .at(100.0, dosco_chaos::ChurnAction::LinkDown(dosco_topology::LinkId(0)))
+            .at(200.0, dosco_chaos::ChurnAction::LinkUp(dosco_topology::LinkId(0)))
+            .with_stochastic(StochasticChurn::default().with_node_failures(2_000.0, 100.0));
+        let mut e = env().with_churn(schedule);
+        assert!(e.churn_stats().is_none(), "pre-reset sim is churn-free");
+        e.reset();
+        let stats = *e.churn_stats().expect("churn installed on reset");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut saw_done = false;
+        for _ in 0..5_000 {
+            let a = rng.gen_range(0..e.num_actions());
+            let r = e.step(a);
+            assert!(r.reward.is_finite());
+            if r.done {
+                saw_done = true;
+                break;
+            }
+        }
+        assert!(saw_done, "churn episode must still terminate");
+        let _ = stats;
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid churn schedule")]
+    fn rejects_bad_churn_schedule() {
+        // Abilene has 14 links; link 99 is out of range.
+        let schedule = ChurnSchedule::none().at(
+            1.0,
+            dosco_chaos::ChurnAction::LinkDown(dosco_topology::LinkId(99)),
+        );
+        let _ = env().with_churn(schedule);
     }
 }

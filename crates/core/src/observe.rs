@@ -109,9 +109,12 @@ impl ObservationAdapter {
         // path via each neighbor relative to the remaining deadline; < 0
         // means forwarding that way cannot succeed anymore.
         let remaining = flow.remaining_time(dp.time);
+        // `shortest_paths` and `link_delay` track the current topology
+        // version under substrate churn (recomputed only at churn epochs),
+        // so the slack below never reads a stale path through a dead link.
         let sp = sim.shortest_paths();
         for &(n, l) in neighbors {
-            let path_delay = topo.link(l).delay + sp.delay(n, flow.egress);
+            let path_delay = sim.link_delay(l) + sp.delay(n, flow.egress);
             let v = if remaining <= 0.0 {
                 -1.0
             } else {

@@ -64,7 +64,8 @@ impl RewardConfig {
             SimEvent::Held { .. } => -self.hold_scale / d,
             SimEvent::FlowArrived { .. }
             | SimEvent::InstanceStarted { .. }
-            | SimEvent::InstanceStopped { .. } => 0.0,
+            | SimEvent::InstanceStopped { .. }
+            | SimEvent::ChurnApplied { .. } => 0.0,
         }
     }
 

@@ -8,6 +8,7 @@
 
 use crate::eval;
 use crate::gymenv::CoordEnv;
+use dosco_chaos::ChurnSchedule;
 use crate::policy::{CoordinationPolicy, PolicyMetadata};
 use crate::reward::RewardConfig;
 use dosco_rl::a2c::{A2c, A2cConfig};
@@ -84,6 +85,12 @@ pub struct TrainConfig {
     /// (`dosco_runtime`) instead of the algorithm's serial loop. `None`
     /// keeps the serial path; `Some(sync)` is bit-identical to it.
     pub runtime: Option<RuntimeConfig>,
+    /// Substrate churn applied during training episodes: each episode
+    /// compiles this schedule against the scenario topology with a
+    /// churn-private seed stream, so the policy learns under link/node
+    /// failures and degradations. The held-out selection episode stays on
+    /// the clean substrate. `None` trains exactly as before.
+    pub churn: Option<ChurnSchedule>,
 }
 
 impl Default for TrainConfig {
@@ -103,6 +110,7 @@ impl Default for TrainConfig {
             checkpoints: 8,
             fixed_capacity_training: false,
             runtime: None,
+            churn: None,
         }
     }
 }
@@ -124,20 +132,22 @@ fn make_envs(
     seed: u64,
     degree_override: Option<usize>,
     fixed_capacities: bool,
+    churn: Option<&ChurnSchedule>,
 ) -> Vec<Box<dyn Env>> {
     (0..n_envs)
         .map(|i| {
-            let env = CoordEnv::new(
+            let mut env = CoordEnv::new(
                 scenario.clone(),
                 reward,
                 seed.wrapping_mul(1_000_003).wrapping_add(i as u64),
                 degree_override,
             );
-            let env = if fixed_capacities {
-                env.with_fixed_capacities()
-            } else {
-                env
-            };
+            if fixed_capacities {
+                env = env.with_fixed_capacities();
+            }
+            if let Some(schedule) = churn {
+                env = env.with_churn(schedule.clone());
+            }
             Box::new(env) as Box<dyn Env>
         })
         .collect()
@@ -172,6 +182,7 @@ pub fn train_distributed(scenario: &ScenarioConfig, config: &TrainConfig) -> Tra
             seed,
             config.degree_override,
             config.fixed_capacity_training,
+            config.churn.as_ref(),
         );
         // One closure per algorithm: train a chunk, hand back the actor.
         enum Agent {

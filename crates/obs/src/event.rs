@@ -174,6 +174,21 @@ pub enum Event {
         /// Environment transitions trained on so far.
         total_steps: u64,
     },
+    /// A substrate churn action was applied to a simulation episode.
+    /// Additive variant: existing event lines are byte-unchanged, so the
+    /// schema version stays at 1.
+    ChurnApplied {
+        /// Simulation time the action took effect.
+        time: f64,
+        /// Stable action label (`link-down`, `node-up`, `delay-spike`, …).
+        action: String,
+        /// Dense id of the affected link or node.
+        target: u64,
+        /// Degradation/spike factor, `null` for failures and repairs.
+        factor: Option<f64>,
+        /// Topology version after applying the action (monotonic from 1).
+        topo_version: u64,
+    },
 }
 
 #[cfg(test)]

@@ -36,11 +36,31 @@ pub enum CounterKind {
     /// (the net plane's backpressure signal, mirroring the runtime's
     /// `channel_full_stalls`).
     NetSocketStalls,
+    /// Substrate churn actions applied by the simulator.
+    ChurnEventsApplied,
+    /// Shortest-path recomputations triggered by churn epochs.
+    ChurnSpRecomputes,
+    /// Flows killed by link/node failures (substrate churn).
+    ChurnFlowsKilled,
+    /// Component instances lost with failed nodes (substrate churn).
+    ChurnInstancesLost,
+    /// Flows dropped for exceeding node compute capacity.
+    DropNodeCapacity,
+    /// Flows dropped for exceeding link data-rate capacity.
+    DropLinkCapacity,
+    /// Flows dropped because their deadline expired.
+    DropDeadlineExpired,
+    /// Flows dropped because the agent picked a non-existing neighbor.
+    DropInvalidAction,
+    /// Flows dropped because their carrying link failed mid-transit.
+    DropLinkFailure,
+    /// Flows dropped because their hosting node failed.
+    DropNodeFailure,
 }
 
 impl CounterKind {
     /// All counters, in report order.
-    pub const ALL: [CounterKind; 11] = [
+    pub const ALL: [CounterKind; 21] = [
         CounterKind::TraceEvents,
         CounterKind::EpisodesTraced,
         CounterKind::DecisionSamples,
@@ -52,6 +72,16 @@ impl CounterKind {
         CounterKind::NetBytesSent,
         CounterKind::NetBytesReceived,
         CounterKind::NetSocketStalls,
+        CounterKind::ChurnEventsApplied,
+        CounterKind::ChurnSpRecomputes,
+        CounterKind::ChurnFlowsKilled,
+        CounterKind::ChurnInstancesLost,
+        CounterKind::DropNodeCapacity,
+        CounterKind::DropLinkCapacity,
+        CounterKind::DropDeadlineExpired,
+        CounterKind::DropInvalidAction,
+        CounterKind::DropLinkFailure,
+        CounterKind::DropNodeFailure,
     ];
 
     /// Stable snake_case name used in reports.
@@ -68,6 +98,16 @@ impl CounterKind {
             CounterKind::NetBytesSent => "net_bytes_sent",
             CounterKind::NetBytesReceived => "net_bytes_received",
             CounterKind::NetSocketStalls => "net_socket_stalls",
+            CounterKind::ChurnEventsApplied => "churn_events_applied",
+            CounterKind::ChurnSpRecomputes => "churn_sp_recomputes",
+            CounterKind::ChurnFlowsKilled => "churn_flows_killed",
+            CounterKind::ChurnInstancesLost => "churn_instances_lost",
+            CounterKind::DropNodeCapacity => "drop_node_capacity",
+            CounterKind::DropLinkCapacity => "drop_link_capacity",
+            CounterKind::DropDeadlineExpired => "drop_deadline_expired",
+            CounterKind::DropInvalidAction => "drop_invalid_action",
+            CounterKind::DropLinkFailure => "drop_link_failure",
+            CounterKind::DropNodeFailure => "drop_node_failure",
         }
     }
 
@@ -91,17 +131,25 @@ pub enum GaugeKind {
     LastServeQueueDepth,
     /// Deepest serving-shard mailbox seen at any flush.
     PeakServeQueueDepth,
+    /// Current substrate topology version (churn actions applied so far
+    /// in the most recently sampled episode).
+    TopoVersion,
+    /// Success ratio over the sliding termination window of the most
+    /// recently sampled churn episode (a fault's blast radius/recovery).
+    WindowedSuccessRatio,
 }
 
 impl GaugeKind {
     /// All gauges, in report order.
-    pub const ALL: [GaugeKind; 6] = [
+    pub const ALL: [GaugeKind; 8] = [
         GaugeKind::LastSuccessRatio,
         GaugeKind::LastInFlight,
         GaugeKind::PeakNodeUtil,
         GaugeKind::PeakLinkUtil,
         GaugeKind::LastServeQueueDepth,
         GaugeKind::PeakServeQueueDepth,
+        GaugeKind::TopoVersion,
+        GaugeKind::WindowedSuccessRatio,
     ];
 
     /// Stable snake_case name used in reports.
@@ -113,6 +161,8 @@ impl GaugeKind {
             GaugeKind::PeakLinkUtil => "peak_link_util",
             GaugeKind::LastServeQueueDepth => "last_serve_queue_depth",
             GaugeKind::PeakServeQueueDepth => "peak_serve_queue_depth",
+            GaugeKind::TopoVersion => "topo_version",
+            GaugeKind::WindowedSuccessRatio => "windowed_success_ratio",
         }
     }
 
@@ -480,6 +530,10 @@ pub(crate) mod tests {
         assert_eq!(SpanKind::NetDecode.name(), "net_decode");
         assert_eq!(GaugeKind::PeakLinkUtil.name(), "peak_link_util");
         assert_eq!(GaugeKind::PeakServeQueueDepth.name(), "peak_serve_queue_depth");
+        assert_eq!(CounterKind::ChurnEventsApplied.name(), "churn_events_applied");
+        assert_eq!(CounterKind::DropLinkFailure.name(), "drop_link_failure");
+        assert_eq!(GaugeKind::TopoVersion.name(), "topo_version");
+        assert_eq!(GaugeKind::WindowedSuccessRatio.name(), "windowed_success_ratio");
         assert_eq!(HistKind::NodeUtil.name(), "node_util");
         assert_eq!(HistKind::Staleness.bounds().len() + 1, 8);
         // Every histogram fits the shared fixed-size bucket arrays.

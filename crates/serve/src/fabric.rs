@@ -37,7 +37,7 @@ use dosco_net::{BoxTx, InProcess, Rx, Transport};
 use dosco_obs::registry;
 use dosco_obs::{CounterKind, SpanKind};
 use dosco_runtime::{PolicySlot, PolicySnapshot};
-use dosco_simnet::{Action, Metrics, ScenarioConfig, Simulation};
+use dosco_simnet::{Action, ChurnTimeline, Metrics, ScenarioConfig, Simulation};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -89,6 +89,11 @@ pub struct ServeConfig {
     /// episode, so a healthy shard answers in microseconds; the default
     /// ([`GATHER_STALL`], 10 s) means the peer is gone.
     pub gather_stall: Duration,
+    /// Substrate churn timeline applied to every served episode (each
+    /// episode seed runs the same timeline, like the seeded evaluation
+    /// protocol). `None` — and the empty timeline — serve a static
+    /// substrate, bit-identical to the pre-churn fabric.
+    pub churn: Option<ChurnTimeline>,
 }
 
 /// Attachments compare by identity: two configs are equal when they
@@ -111,6 +116,7 @@ impl PartialEq for ServeConfig {
             && same(&self.status, &other.status)
             && same(&self.cancel, &other.cancel)
             && self.gather_stall == other.gather_stall
+            && self.churn == other.churn
     }
 }
 
@@ -129,6 +135,7 @@ impl ServeConfig {
             status: None,
             cancel: None,
             gather_stall: GATHER_STALL,
+            churn: None,
         }
     }
 
@@ -172,6 +179,22 @@ impl ServeConfig {
     pub fn with_faults(mut self, faults: FaultScript) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Applies a substrate churn timeline to every served episode.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnTimeline) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Builds one episode simulator, applying the configured churn
+    /// timeline if any.
+    pub(crate) fn build_sim(&self, scenario: &ScenarioConfig, seed: u64) -> Simulation {
+        match &self.churn {
+            Some(tl) => Simulation::with_churn(scenario.clone(), seed, tl.clone()),
+            None => Simulation::new(scenario.clone(), seed),
+        }
     }
 
     /// Checks the configuration is usable.
@@ -485,7 +508,7 @@ where
 
     let mut sims: Vec<Simulation> = episode_seeds
         .iter()
-        .map(|&s| Simulation::new(scenario.clone(), s))
+        .map(|&s| cfg.build_sim(scenario, s))
         .collect();
 
     let (resp_tx, resp_rx) = Transport::<Vec<DecisionResponse>>::channel(transport, num_shards + 1);

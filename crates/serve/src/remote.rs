@@ -199,7 +199,7 @@ impl FrontendServer {
 
         let mut sims: Vec<Simulation> = episode_seeds
             .iter()
-            .map(|&s| Simulation::new(scenario.clone(), s))
+            .map(|&s| cfg.build_sim(scenario, s))
             .collect();
 
         let mut conns = Vec::with_capacity(num_shards);

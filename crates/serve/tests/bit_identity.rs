@@ -96,3 +96,41 @@ fn stochastic_multi_episode_shard_count_invariance() {
     assert_eq!(one.metrics, four.metrics);
     assert_eq!(one.report.decisions, four.report.decisions);
 }
+
+/// Substrate churn during serving stays deterministic and shard-count
+/// invariant: the timeline executes inside each episode's simulator, so
+/// shard partitioning cannot reorder faults relative to decisions. An
+/// empty timeline is bit-identical to no churn at all.
+#[test]
+fn churn_serving_is_deterministic_and_shard_count_invariant() {
+    use dosco_chaos::{ChurnAction, ChurnSchedule};
+    use dosco_topology::{LinkId, NodeId};
+
+    let scenario = scenario();
+    let p = policy(scenario.topology.network_degree());
+    let seeds = [3u64, 7];
+    let timeline = ChurnSchedule::none()
+        .at(100.0, ChurnAction::LinkDown(LinkId(2)))
+        .at(180.0, ChurnAction::NodeDown(NodeId(4)))
+        .at(250.0, ChurnAction::LinkUp(LinkId(2)))
+        .at(320.0, ChurnAction::NodeUp(NodeId(4)))
+        .compile(&scenario.topology, scenario.horizon, 0)
+        .expect("valid schedule");
+    let cfg = |shards| ServeConfig::new(shards).with_churn(timeline.clone());
+
+    let one = serve(&p, None, &scenario, &seeds, &cfg(1));
+    let four = serve(&p, None, &scenario, &seeds, &cfg(4));
+    assert_eq!(
+        one.metrics, four.metrics,
+        "churn serving must be shard-count invariant"
+    );
+    let again = serve(&p, None, &scenario, &seeds, &cfg(4));
+    assert_eq!(four.metrics, again.metrics, "same seed, same timeline");
+
+    // Empty timeline == no churn, bit for bit.
+    let empty =
+        ServeConfig::new(2).with_churn(dosco_chaos::ChurnTimeline::none());
+    let plain = serve(&p, None, &scenario, &seeds, &ServeConfig::new(2));
+    let with_empty = serve(&p, None, &scenario, &seeds, &empty);
+    assert_eq!(plain.metrics, with_empty.metrics);
+}

@@ -69,6 +69,53 @@ pub trait Coordinator {
     fn observe(&mut self, _sim: &Simulation, _events: &[crate::event::SimEvent]) {}
 }
 
+/// Wraps any coordinator and records every [`SimEvent`](crate::SimEvent)
+/// the simulator streams to it, in order. [`Simulation::run`] drains the
+/// event buffer into the coordinator's `observe` hook, so a full-episode
+/// event trace (for resilience reports or journey reconstruction) needs a
+/// recording wrapper like this one.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog<C> {
+    inner: C,
+    events: Vec<crate::event::SimEvent>,
+}
+
+impl<C> EventLog<C> {
+    /// Wraps `inner`, starting with an empty log.
+    pub fn new(inner: C) -> Self {
+        EventLog {
+            inner,
+            events: Vec::new(),
+        }
+    }
+
+    /// All events recorded so far, in emission order.
+    pub fn events(&self) -> &[crate::event::SimEvent] {
+        &self.events
+    }
+
+    /// Consumes the wrapper, returning the recorded events.
+    pub fn into_events(self) -> Vec<crate::event::SimEvent> {
+        self.events
+    }
+
+    /// The wrapped coordinator.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Coordinator> Coordinator for EventLog<C> {
+    fn decide(&mut self, sim: &Simulation, dp: &DecisionPoint) -> Action {
+        self.inner.decide(sim, dp)
+    }
+
+    fn observe(&mut self, sim: &Simulation, events: &[crate::event::SimEvent]) {
+        self.events.extend_from_slice(events);
+        self.inner.observe(sim, events);
+    }
+}
+
 /// Trivial coordinator processing every flow locally and holding processed
 /// flows forever. Useful for tests: flows complete only if ingress ==
 /// egress; otherwise they expire.

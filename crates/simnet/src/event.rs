@@ -20,15 +20,23 @@ pub enum DropReason {
     DeadlineExpired,
     /// The agent selected a non-existing neighbor (action `a > |V_v|`).
     InvalidAction,
+    /// The link carrying the flow failed mid-transit (substrate churn,
+    /// [`crate::churn::TransitPolicy::Drop`]).
+    LinkFailure,
+    /// The node holding (or processing) the flow failed, or the flow
+    /// arrived at a node while it was down (substrate churn).
+    NodeFailure,
 }
 
 impl DropReason {
     /// All drop reasons, for iteration in metrics reports.
-    pub const ALL: [DropReason; 4] = [
+    pub const ALL: [DropReason; 6] = [
         DropReason::NodeCapacity,
         DropReason::LinkCapacity,
         DropReason::DeadlineExpired,
         DropReason::InvalidAction,
+        DropReason::LinkFailure,
+        DropReason::NodeFailure,
     ];
 }
 
@@ -39,6 +47,8 @@ impl fmt::Display for DropReason {
             DropReason::LinkCapacity => "link-capacity",
             DropReason::DeadlineExpired => "deadline-expired",
             DropReason::InvalidAction => "invalid-action",
+            DropReason::LinkFailure => "link-failure",
+            DropReason::NodeFailure => "node-failure",
         };
         f.write_str(s)
     }
@@ -139,6 +149,17 @@ pub enum SimEvent {
         /// Removal time.
         time: f64,
     },
+    /// A substrate churn action (failure, repair, degradation, delay
+    /// spike) was applied. Only emitted when the simulation runs with a
+    /// non-empty [`crate::churn::ChurnTimeline`].
+    ChurnApplied {
+        /// What changed.
+        action: crate::churn::ChurnAction,
+        /// The topology version after applying it (monotonic from 1).
+        topo_version: u64,
+        /// Application time.
+        time: f64,
+    },
 }
 
 impl SimEvent {
@@ -151,7 +172,9 @@ impl SimEvent {
             | SimEvent::InstanceTraversed { flow, .. }
             | SimEvent::Forwarded { flow, .. }
             | SimEvent::Held { flow, .. } => Some(*flow),
-            SimEvent::InstanceStarted { .. } | SimEvent::InstanceStopped { .. } => None,
+            SimEvent::InstanceStarted { .. }
+            | SimEvent::InstanceStopped { .. }
+            | SimEvent::ChurnApplied { .. } => None,
         }
     }
 }
@@ -172,16 +195,23 @@ pub(crate) enum QueuedEvent {
         component: ComponentId,
     },
     /// Node resources reserved for a flow's processing are released (the
-    /// flow's tail has left the instance).
+    /// flow's tail has left the instance). `epoch` is the node's churn
+    /// epoch at reservation time: if the node failed in between, the
+    /// release is stale (its capacity was already reclaimed wholesale)
+    /// and is skipped.
     ReleaseNode {
         node: NodeId,
         component: ComponentId,
         amount: f64,
+        epoch: u64,
     },
-    /// Link capacity reserved for a flow traversal is released.
-    ReleaseLink { link: LinkId, amount: f64 },
+    /// Link capacity reserved for a flow traversal is released. `epoch`
+    /// guards staleness across link failures, like `ReleaseNode`.
+    ReleaseLink { link: LinkId, amount: f64, epoch: u64 },
     /// Check whether an instance has been idle for its full timeout.
     InstanceTimeout { node: NodeId, component: ComponentId },
+    /// Apply the `idx`-th entry of the churn timeline.
+    Churn { idx: usize },
 }
 
 #[cfg(test)]
@@ -191,7 +221,9 @@ mod tests {
     #[test]
     fn drop_reason_display() {
         assert_eq!(DropReason::NodeCapacity.to_string(), "node-capacity");
-        assert_eq!(DropReason::ALL.len(), 4);
+        assert_eq!(DropReason::LinkFailure.to_string(), "link-failure");
+        assert_eq!(DropReason::NodeFailure.to_string(), "node-failure");
+        assert_eq!(DropReason::ALL.len(), 6);
     }
 
     #[test]

@@ -174,7 +174,9 @@ impl JourneyLog {
                         j.outcome = Outcome::Dropped { reason, node };
                     }
                 }
-                SimEvent::InstanceStarted { .. } | SimEvent::InstanceStopped { .. } => {}
+                SimEvent::InstanceStarted { .. }
+                | SimEvent::InstanceStopped { .. }
+                | SimEvent::ChurnApplied { .. } => {}
             }
         }
     }

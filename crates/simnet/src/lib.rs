@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod churn;
 pub mod config;
 pub mod coordinator;
 pub mod event;
@@ -55,8 +56,9 @@ pub mod service;
 pub mod sim;
 pub mod slab;
 
+pub use churn::{ChurnAction, ChurnStats, ChurnTimeline, TransitPolicy};
 pub use config::{IngressSpec, ScenarioConfig};
-pub use coordinator::{Action, Coordinator, DecisionPoint};
+pub use coordinator::{Action, Coordinator, DecisionPoint, EventLog};
 pub use event::{DropReason, SimEvent};
 pub use flow::{Flow, FlowId, FlowKey};
 pub use metrics::{Metrics, WindowedStats};

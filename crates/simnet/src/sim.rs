@@ -1,10 +1,11 @@
 //! The discrete-event simulation engine.
 
+use crate::churn::{ChurnAction, ChurnStats, ChurnTimeline, FlowPlace, TransitPolicy};
 use crate::config::ScenarioConfig;
 use crate::coordinator::{Action, Coordinator, DecisionPoint};
 use crate::event::{DropReason, QueuedEvent, SimEvent};
 use crate::flow::{Flow, FlowId, FlowKey};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, WindowedStats};
 use crate::queue::{EventKey, EventQueue};
 use crate::service::ComponentId;
 use crate::slab::Slab;
@@ -12,9 +13,54 @@ use dosco_topology::{LinkId, NodeId, ShortestPaths};
 use dosco_traffic::ArrivalProcess;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 
 /// Float tolerance for capacity admission checks.
 const CAP_EPS: f64 = 1e-9;
+
+/// Terminations kept in the sliding success-ratio window while churn is
+/// active (the resolution of the before/during/after-fault resilience
+/// view).
+const CHURN_WINDOW: usize = 256;
+
+/// State the simulator keeps *only* while a non-empty [`ChurnTimeline`]
+/// is installed. Boxed behind an `Option` on [`Simulation`]: with churn
+/// disabled nothing here is allocated and every accessor falls through to
+/// the exact pre-churn expression, which is what keeps
+/// [`ChurnTimeline::none`] bit-identical to the seed simulator (pinned by
+/// the `simcore_goldens` suite).
+#[derive(Debug)]
+struct ChurnState {
+    timeline: ChurnTimeline,
+    /// Nominal capacities and delays (id-ordered): the restore targets
+    /// for `LinkUp`/`NodeUp` and the base of degradation factors.
+    node_base: Vec<f64>,
+    link_base: Vec<f64>,
+    delay_base: Vec<f64>,
+    /// Effective values read by admission checks and SP recomputes.
+    node_eff_cap: Vec<f64>,
+    link_eff_cap: Vec<f64>,
+    link_eff_delay: Vec<f64>,
+    /// Liveness masks fed to [`ShortestPaths::compute_masked`].
+    node_up: Vec<bool>,
+    link_up: Vec<bool>,
+    /// Active degradation factors (reset to 1.0 by a repair).
+    node_degrade: Vec<f64>,
+    link_degrade: Vec<f64>,
+    /// Failure epochs: bumped when an entity fails, so resource releases
+    /// reserved *before* the failure are recognized as stale — their
+    /// capacity was already reclaimed wholesale with the failure.
+    node_epoch: Vec<u64>,
+    link_epoch: Vec<u64>,
+    /// Where each live flow's head currently is. Keyed by the monotone
+    /// [`FlowId`] so fault victims die in arrival order — deterministic
+    /// regardless of slab slot recycling.
+    places: BTreeMap<FlowId, (FlowKey, FlowPlace)>,
+    stats: ChurnStats,
+    /// Sliding success ratio over recent terminations (resilience
+    /// reporting around faults).
+    window: WindowedStats,
+}
 
 /// A placed component instance (`x_{c,v} = 1`).
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +117,10 @@ pub struct Simulation {
     obs_stream: Option<dosco_obs::Stream>,
     /// Decisions between mid-episode trace samples.
     obs_stride: u64,
+    /// Substrate churn state; `None` (never allocated) unless the
+    /// simulation was built via [`Simulation::with_churn`] with a
+    /// non-empty timeline.
+    churn: Option<Box<ChurnState>>,
 }
 
 impl Simulation {
@@ -82,6 +132,21 @@ impl Simulation {
     ///
     /// Panics if the configuration fails [`ScenarioConfig::validate`].
     pub fn new(config: ScenarioConfig, seed: u64) -> Self {
+        Simulation::with_churn(config, seed, ChurnTimeline::none())
+    }
+
+    /// Like [`Simulation::new`], but with a substrate churn `timeline`
+    /// applied through the event loop: link/node failures and repairs,
+    /// capacity degradation, and delay spikes interleave deterministically
+    /// with arrivals and decisions. An empty timeline is bit-identical to
+    /// [`Simulation::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ScenarioConfig::validate`], or
+    /// if a timeline entry targets a node/link outside the topology or
+    /// carries a non-finite/negative factor.
+    pub fn with_churn(config: ScenarioConfig, seed: u64, timeline: ChurnTimeline) -> Self {
         config
             .validate()
             .expect("scenario configuration must be valid");
@@ -117,9 +182,13 @@ impl Simulation {
             finished: false,
             obs_stream: dosco_obs::trace_enabled().then(|| dosco_obs::Stream::sim(seed)),
             obs_stride: dosco_obs::sample_stride(),
+            churn: None,
         };
         for idx in 0..sim.arrivals.len() {
             sim.schedule_next_arrival(idx, 0.0);
+        }
+        if !timeline.is_empty() {
+            sim.install_churn(timeline);
         }
         if let Some(stream) = sim.obs_stream {
             dosco_obs::emit(stream, || dosco_obs::Event::EpisodeStart {
@@ -131,6 +200,60 @@ impl Simulation {
             });
         }
         sim
+    }
+
+    /// Installs a non-empty churn timeline: validates targets, seeds the
+    /// effective-capacity views from the nominal topology, and schedules
+    /// one internal event per timeline entry within the horizon. Draws
+    /// nothing from the traffic RNG stream.
+    fn install_churn(&mut self, timeline: ChurnTimeline) {
+        let topo = &self.config.topology;
+        let (n, m) = (topo.num_nodes(), topo.num_links());
+        for &(t, action) in timeline.entries() {
+            let target = action.target() as usize;
+            let in_range = match action {
+                ChurnAction::NodeDown(_)
+                | ChurnAction::NodeUp(_)
+                | ChurnAction::DegradeNodeCapacity { .. } => target < n,
+                _ => target < m,
+            };
+            assert!(
+                in_range,
+                "churn action `{action}` at t={t} targets an entity outside the topology"
+            );
+            if let Some(f) = action.factor() {
+                assert!(
+                    f.is_finite() && f >= 0.0,
+                    "churn action `{action}` factor must be finite and ≥ 0"
+                );
+            }
+        }
+        let node_base: Vec<f64> = topo.node_capacities().collect();
+        let link_base: Vec<f64> = topo.link_capacities().collect();
+        let delay_base: Vec<f64> = topo.link_ids().map(|l| topo.link(l).delay).collect();
+        for (idx, &(t, _)) in timeline.entries().iter().enumerate() {
+            if t <= self.config.horizon {
+                self.queue.push(t, QueuedEvent::Churn { idx });
+            }
+        }
+        self.churn = Some(Box::new(ChurnState {
+            node_eff_cap: node_base.clone(),
+            link_eff_cap: link_base.clone(),
+            link_eff_delay: delay_base.clone(),
+            node_base,
+            link_base,
+            delay_base,
+            node_up: vec![true; n],
+            link_up: vec![true; m],
+            node_degrade: vec![1.0; n],
+            link_degrade: vec![1.0; m],
+            node_epoch: vec![0; n],
+            link_epoch: vec![0; m],
+            places: BTreeMap::new(),
+            stats: ChurnStats::default(),
+            window: WindowedStats::new(CHURN_WINDOW),
+            timeline,
+        }));
     }
 
     // ------------------------------------------------------------------
@@ -178,9 +301,19 @@ impl Simulation {
         self.node_used[v.0]
     }
 
+    /// Effective compute capacity of node `v`: nominal unless churn
+    /// degraded it, zero while the node is down. Without churn this is
+    /// exactly the static topology capacity.
+    pub fn node_capacity(&self, v: NodeId) -> f64 {
+        match &self.churn {
+            Some(cs) => cs.node_eff_cap[v.0],
+            None => self.config.topology.node(v).capacity,
+        }
+    }
+
     /// Free compute resources at node `v` (`cap_v − r_v(t)`).
     pub fn node_free(&self, v: NodeId) -> f64 {
-        self.config.topology.node(v).capacity - self.node_used[v.0]
+        self.node_capacity(v) - self.node_used[v.0]
     }
 
     /// Data rate currently reserved on link `l` (`r_l(t)`).
@@ -188,9 +321,59 @@ impl Simulation {
         self.link_used[l.0]
     }
 
+    /// Effective data-rate capacity of link `l` (see
+    /// [`Simulation::node_capacity`]).
+    pub fn link_capacity(&self, l: LinkId) -> f64 {
+        match &self.churn {
+            Some(cs) => cs.link_eff_cap[l.0],
+            None => self.config.topology.link(l).capacity,
+        }
+    }
+
     /// Free data rate on link `l` (`cap_l − r_l(t)`).
     pub fn link_free(&self, l: LinkId) -> f64 {
-        self.config.topology.link(l).capacity - self.link_used[l.0]
+        self.link_capacity(l) - self.link_used[l.0]
+    }
+
+    /// Effective propagation delay of link `l` (nominal unless a churn
+    /// delay spike is active). Observation adapters must read this — not
+    /// the static topology — so delays track the current topology
+    /// version.
+    pub fn link_delay(&self, l: LinkId) -> f64 {
+        match &self.churn {
+            Some(cs) => cs.link_eff_delay[l.0],
+            None => self.config.topology.link(l).delay,
+        }
+    }
+
+    /// Whether node `v` is currently up (always true without churn).
+    pub fn is_node_up(&self, v: NodeId) -> bool {
+        self.churn.as_ref().is_none_or(|cs| cs.node_up[v.0])
+    }
+
+    /// Whether link `l` is currently up (always true without churn).
+    pub fn is_link_up(&self, l: LinkId) -> bool {
+        self.churn.as_ref().is_none_or(|cs| cs.link_up[l.0])
+    }
+
+    /// Substrate topology version: the number of churn actions applied so
+    /// far, 0 forever without churn. [`Simulation::shortest_paths`] is
+    /// recomputed only when this changes through a routing-affecting
+    /// action — consumers may cache per version.
+    pub fn topo_version(&self) -> u64 {
+        self.churn.as_ref().map_or(0, |cs| cs.stats.events_applied)
+    }
+
+    /// Churn counters, `None` when no churn timeline is installed.
+    pub fn churn_stats(&self) -> Option<&ChurnStats> {
+        self.churn.as_ref().map(|cs| &cs.stats)
+    }
+
+    /// Success ratio over the most recent terminations (a sliding window)
+    /// while churn is active; `None` without churn or before any flow
+    /// terminated.
+    pub fn windowed_success_ratio(&self) -> Option<f64> {
+        self.churn.as_ref().and_then(|cs| cs.window.success_ratio())
     }
 
     /// Dense index of `(v, c)` in the NodeId-major instance table.
@@ -514,7 +697,18 @@ impl Simulation {
                 node,
                 component,
                 amount,
+                epoch,
             } => {
+                if self
+                    .churn
+                    .as_ref()
+                    .is_some_and(|cs| cs.node_epoch[node.0] != epoch)
+                {
+                    // The node failed after this reservation was made: its
+                    // usage was reclaimed wholesale with the failure and
+                    // the instance is gone, so the release is stale.
+                    return None;
+                }
                 self.node_used[node.0] = (self.node_used[node.0] - amount).max(0.0);
                 let idx = self.inst_idx(node, component);
                 let went_idle = self.instances[idx].as_mut().is_some_and(|inst| {
@@ -538,7 +732,14 @@ impl Simulation {
                 }
                 None
             }
-            QueuedEvent::ReleaseLink { link, amount } => {
+            QueuedEvent::ReleaseLink { link, amount, epoch } => {
+                if self
+                    .churn
+                    .as_ref()
+                    .is_some_and(|cs| cs.link_epoch[link.0] != epoch)
+                {
+                    return None; // stale: the link failed in between
+                }
                 self.link_used[link.0] = (self.link_used[link.0] - amount).max(0.0);
                 None
             }
@@ -564,6 +765,164 @@ impl Simulation {
                 }
                 None
             }
+            QueuedEvent::Churn { idx } => {
+                self.apply_churn(idx);
+                None
+            }
+        }
+    }
+
+    /// Applies the `idx`-th churn timeline entry. Runs between decisions
+    /// (the queue only surfaces churn from [`Simulation::handle`], where
+    /// no decision is pending), so victims are dropped atomically with
+    /// the substrate mutation.
+    fn apply_churn(&mut self, idx: usize) {
+        let action = {
+            let cs = self.churn.as_ref().expect("churn event requires churn state");
+            cs.timeline.entries()[idx].1
+        };
+        match action {
+            ChurnAction::LinkDown(l) => {
+                let cs = self.churn.as_mut().expect("churn state");
+                cs.stats.link_downs += 1;
+                cs.link_up[l.0] = false;
+                cs.link_eff_cap[l.0] = 0.0;
+                if cs.timeline.transit() == TransitPolicy::Drop {
+                    // Reservations on the link die with it: bump the epoch
+                    // so queued releases are recognized as stale, reclaim
+                    // the usage wholesale, and kill in-transit flows in
+                    // FlowId (arrival) order.
+                    cs.link_epoch[l.0] += 1;
+                    let victims: Vec<(FlowKey, NodeId)> = cs
+                        .places
+                        .values()
+                        .filter(|(_, place)| place.on_link(l))
+                        .map(|&(key, place)| match place {
+                            FlowPlace::OnLink { to, .. } => (key, to),
+                            _ => unreachable!("on_link filtered"),
+                        })
+                        .collect();
+                    self.link_used[l.0] = 0.0;
+                    for (key, to) in victims {
+                        self.drop_flow(key, DropReason::LinkFailure, to);
+                    }
+                }
+            }
+            ChurnAction::LinkUp(l) => {
+                let cs = self.churn.as_mut().expect("churn state");
+                cs.stats.link_ups += 1;
+                cs.link_up[l.0] = true;
+                cs.link_degrade[l.0] = 1.0;
+                cs.link_eff_cap[l.0] = cs.link_base[l.0];
+                cs.link_eff_delay[l.0] = cs.delay_base[l.0];
+            }
+            ChurnAction::NodeDown(v) => {
+                let cs = self.churn.as_mut().expect("churn state");
+                cs.stats.node_downs += 1;
+                cs.node_up[v.0] = false;
+                cs.node_eff_cap[v.0] = 0.0;
+                cs.node_epoch[v.0] += 1;
+                let victims: Vec<FlowKey> = cs
+                    .places
+                    .values()
+                    .filter(|(_, place)| place.on_node(v))
+                    .map(|&(key, _)| key)
+                    .collect();
+                self.node_used[v.0] = 0.0;
+                for key in victims {
+                    self.drop_flow(key, DropReason::NodeFailure, v);
+                }
+                // Instances die with the node; their reserved capacity was
+                // reclaimed above. They count as stopped so the instance
+                // conservation (started == stopped + live) holds through
+                // the fault; the node comes back empty on repair.
+                let mut lost = 0u64;
+                for c in 0..self.num_components {
+                    let idx = self.inst_idx(v, ComponentId(c));
+                    if let Some(inst) = self.instances[idx].take() {
+                        if let Some(probe) = inst.timeout {
+                            self.queue.cancel(probe);
+                        }
+                        self.num_instances -= 1;
+                        self.metrics.instances_stopped += 1;
+                        lost += 1;
+                        self.events.push(SimEvent::InstanceStopped {
+                            node: v,
+                            component: ComponentId(c),
+                            time: self.time,
+                        });
+                    }
+                }
+                if lost > 0 {
+                    let cs = self.churn.as_mut().expect("churn state");
+                    cs.stats.instances_lost += lost;
+                    dosco_obs::registry::count(dosco_obs::CounterKind::ChurnInstancesLost, lost);
+                }
+            }
+            ChurnAction::NodeUp(v) => {
+                let cs = self.churn.as_mut().expect("churn state");
+                cs.stats.node_ups += 1;
+                cs.node_up[v.0] = true;
+                cs.node_degrade[v.0] = 1.0;
+                cs.node_eff_cap[v.0] = cs.node_base[v.0];
+            }
+            ChurnAction::DegradeLinkCapacity { link, factor } => {
+                let cs = self.churn.as_mut().expect("churn state");
+                cs.stats.degrades += 1;
+                cs.link_degrade[link.0] = factor;
+                if cs.link_up[link.0] {
+                    cs.link_eff_cap[link.0] = cs.link_base[link.0] * factor;
+                }
+            }
+            ChurnAction::DegradeNodeCapacity { node, factor } => {
+                let cs = self.churn.as_mut().expect("churn state");
+                cs.stats.degrades += 1;
+                cs.node_degrade[node.0] = factor;
+                if cs.node_up[node.0] {
+                    cs.node_eff_cap[node.0] = cs.node_base[node.0] * factor;
+                }
+            }
+            ChurnAction::DelaySpike { link, factor } => {
+                let cs = self.churn.as_mut().expect("churn state");
+                cs.stats.delay_spikes += 1;
+                cs.link_eff_delay[link.0] = cs.delay_base[link.0] * factor;
+            }
+        }
+        // Every action bumps the topology version; routing-affecting ones
+        // re-run Dijkstra against the current masks and delays. The reward
+        // normalizer D_G deliberately keeps the *nominal* diameter so
+        // reward scales stay comparable across topology versions.
+        let version = {
+            let cs = self.churn.as_mut().expect("churn state");
+            cs.stats.events_applied += 1;
+            cs.stats.events_applied
+        };
+        if action.affects_routing() {
+            let cs = self.churn.as_ref().expect("churn state");
+            self.sp = ShortestPaths::compute_masked(
+                &self.config.topology,
+                &cs.node_up,
+                &cs.link_up,
+                &cs.link_eff_delay,
+            );
+            self.churn.as_mut().expect("churn state").stats.sp_recomputes += 1;
+            dosco_obs::registry::count(dosco_obs::CounterKind::ChurnSpRecomputes, 1);
+        }
+        self.events.push(SimEvent::ChurnApplied {
+            action,
+            topo_version: version,
+            time: self.time,
+        });
+        dosco_obs::registry::count(dosco_obs::CounterKind::ChurnEventsApplied, 1);
+        dosco_obs::registry::set_gauge(dosco_obs::GaugeKind::TopoVersion, version as f64);
+        if let Some(stream) = self.obs_stream {
+            dosco_obs::emit(stream, || dosco_obs::Event::ChurnApplied {
+                time: self.time,
+                action: action.label().to_string(),
+                target: action.target(),
+                factor: action.factor(),
+                topo_version: version,
+            });
         }
     }
 
@@ -587,6 +946,9 @@ impl Simulation {
             location: spec.node,
         };
         let key = FlowKey(self.flows.insert(flow));
+        if let Some(cs) = &mut self.churn {
+            cs.places.insert(id, (key, FlowPlace::AtNode(node)));
+        }
         self.metrics.arrived += 1;
         self.events.push(SimEvent::FlowArrived {
             flow: id,
@@ -602,15 +964,30 @@ impl Simulation {
         };
         let id = f.id;
         let node = f.location;
-        if f.expired(self.time) {
+        let expired = f.expired(self.time);
+        let done_at_egress = f.fully_processed() && node == f.egress;
+        let (service, chain_pos) = (f.service, f.chain_pos);
+        if self.churn.as_ref().is_some_and(|cs| !cs.node_up[node.0]) {
+            // The head reached a node that is down (forwarded while the
+            // link was still alive, or spawned at a dead ingress): it
+            // dies on arrival.
+            self.drop_flow(key, DropReason::NodeFailure, node);
+            return None;
+        }
+        if let Some(cs) = &mut self.churn {
+            if let Some(entry) = cs.places.get_mut(&id) {
+                entry.1 = FlowPlace::AtNode(node);
+            }
+        }
+        if expired {
             self.drop_flow(key, DropReason::DeadlineExpired, node);
             return None;
         }
-        if f.fully_processed() && node == f.egress {
+        if done_at_egress {
             self.complete_flow(key, node);
             return None;
         }
-        let component = self.config.catalog.component_at(f.service, f.chain_pos);
+        let component = self.config.catalog.component_at(service, chain_pos);
         self.pending_key = Some(key);
         Some(DecisionPoint {
             flow: id,
@@ -631,6 +1008,14 @@ impl Simulation {
             e2e_delay: e2e,
             node,
         });
+        if let Some(cs) = &mut self.churn {
+            cs.places.remove(&f.id);
+            cs.window
+                .observe(self.events.last().expect("completion event just pushed"));
+            if let Some(r) = cs.window.success_ratio() {
+                dosco_obs::registry::set_gauge(dosco_obs::GaugeKind::WindowedSuccessRatio, r);
+            }
+        }
     }
 
     fn drop_flow(&mut self, key: FlowKey, reason: DropReason, node: NodeId) {
@@ -642,6 +1027,39 @@ impl Simulation {
             reason,
             node,
         });
+        if let Some(cs) = &mut self.churn {
+            cs.places.remove(&f.id);
+            match reason {
+                DropReason::LinkFailure => cs.stats.flows_killed_link += 1,
+                DropReason::NodeFailure => cs.stats.flows_killed_node += 1,
+                _ => {}
+            }
+            cs.window
+                .observe(self.events.last().expect("drop event just pushed"));
+            if let Some(r) = cs.window.success_ratio() {
+                dosco_obs::registry::set_gauge(dosco_obs::GaugeKind::WindowedSuccessRatio, r);
+            }
+        }
+        // The drop-cause series feeds the ops /metrics surface; gated so
+        // the tracing-off, churn-off hot path stays untouched.
+        if self.obs_stream.is_some() || self.churn.is_some() {
+            dosco_obs::registry::count(Self::drop_counter(reason), 1);
+            if matches!(reason, DropReason::LinkFailure | DropReason::NodeFailure) {
+                dosco_obs::registry::count(dosco_obs::CounterKind::ChurnFlowsKilled, 1);
+            }
+        }
+    }
+
+    /// The registry counter backing the `/metrics` drop-cause series.
+    fn drop_counter(reason: DropReason) -> dosco_obs::CounterKind {
+        match reason {
+            DropReason::NodeCapacity => dosco_obs::CounterKind::DropNodeCapacity,
+            DropReason::LinkCapacity => dosco_obs::CounterKind::DropLinkCapacity,
+            DropReason::DeadlineExpired => dosco_obs::CounterKind::DropDeadlineExpired,
+            DropReason::InvalidAction => dosco_obs::CounterKind::DropInvalidAction,
+            DropReason::LinkFailure => dosco_obs::CounterKind::DropLinkFailure,
+            DropReason::NodeFailure => dosco_obs::CounterKind::DropNodeFailure,
+        }
     }
 
     fn apply_local(&mut self, dp: DecisionPoint, key: FlowKey) {
@@ -666,7 +1084,7 @@ impl Simulation {
         };
         let comp = self.config.catalog.component(component);
         let demand = comp.resources(f.rate);
-        let capacity = self.config.topology.node(dp.node).capacity;
+        let capacity = self.node_capacity(dp.node);
         if self.node_used[dp.node.0] + demand > capacity + CAP_EPS {
             self.drop_flow(key, DropReason::NodeCapacity, dp.node);
             return;
@@ -698,6 +1116,11 @@ impl Simulation {
         let start = self.time.max(available_at);
         let done = start + comp.processing_delay;
         self.node_used[dp.node.0] += demand;
+        if let Some(cs) = &mut self.churn {
+            if let Some(entry) = cs.places.get_mut(&dp.flow) {
+                entry.1 = FlowPlace::Processing(dp.node);
+            }
+        }
         let inst = self.instances[idx].as_mut().expect("instance just ensured");
         inst.active += 1;
         // The instance is busy again: its outstanding idle-timeout probe
@@ -720,12 +1143,14 @@ impl Simulation {
         // flow duration δ_f starting at processing start; the processing
         // delay d_c shifts the flow in time but does not multiply the
         // rate-based occupancy.
+        let epoch = self.churn.as_ref().map_or(0, |cs| cs.node_epoch[dp.node.0]);
         self.queue.push(
             start + duration,
             QueuedEvent::ReleaseNode {
                 node: dp.node,
                 component,
                 amount: demand,
+                epoch,
             },
         );
     }
@@ -738,14 +1163,18 @@ impl Simulation {
             self.drop_flow(key, DropReason::InvalidAction, dp.node);
             return;
         };
+        if self.churn.as_ref().is_some_and(|cs| !cs.link_up[link.0]) {
+            // The chosen link is down: the forward fails on the spot.
+            self.drop_flow(key, DropReason::LinkFailure, dp.node);
+            return;
+        }
         let f = self
             .flows
             .get(key.0)
             .expect("pending decision refers to a live flow");
         let rate = f.rate;
         let duration = f.duration;
-        let l = self.config.topology.link(link);
-        let (delay, capacity) = (l.delay, l.capacity);
+        let (delay, capacity) = (self.link_delay(link), self.link_capacity(link));
         if self.link_used[link.0] + rate > capacity + CAP_EPS {
             self.drop_flow(key, DropReason::LinkCapacity, dp.node);
             return;
@@ -754,6 +1183,11 @@ impl Simulation {
             .get_mut(key.0)
             .expect("pending decision refers to a live flow")
             .location = to;
+        if let Some(cs) = &mut self.churn {
+            if let Some(entry) = cs.places.get_mut(&dp.flow) {
+                entry.1 = FlowPlace::OnLink { link, to };
+            }
+        }
         self.link_used[link.0] += rate;
         self.metrics.forwards += 1;
         self.events.push(SimEvent::Forwarded {
@@ -766,9 +1200,14 @@ impl Simulation {
         });
         // Rate-based occupancy: the link transmits the flow for δ_f; the
         // propagation delay d_l adds latency but not bandwidth usage.
+        let epoch = self.churn.as_ref().map_or(0, |cs| cs.link_epoch[link.0]);
         self.queue.push(
             self.time + duration,
-            QueuedEvent::ReleaseLink { link, amount: rate },
+            QueuedEvent::ReleaseLink {
+                link,
+                amount: rate,
+                epoch,
+            },
         );
         self.queue
             .push(self.time + delay, QueuedEvent::Decision { flow: key });
@@ -1141,5 +1580,284 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    // ------------------------------------------------------------------
+    // Substrate churn.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn empty_timeline_is_identical_to_plain_new() {
+        let cfg = || ScenarioConfig::paper_base(2).with_horizon(1_000.0);
+        let run = |sim: &mut Simulation| {
+            let mut rec = Recording {
+                inner: RandomCoordinator::new(7),
+                events: Vec::new(),
+            };
+            let m = sim.run(&mut rec).clone();
+            (m, rec.events)
+        };
+        let mut plain = Simulation::new(cfg(), 11);
+        let mut churned = Simulation::with_churn(cfg(), 11, ChurnTimeline::none());
+        assert!(churned.churn_stats().is_none());
+        assert_eq!(churned.topo_version(), 0);
+        assert_eq!(run(&mut plain), run(&mut churned));
+    }
+
+    #[test]
+    fn link_down_kills_in_transit_flow() {
+        // LineForward: arrival t=10, processed by t=12, forwarded onto
+        // link 0 at t=12 (in transit until t=13). Cut the link at t=12.5.
+        let mut cfg = line_scenario();
+        cfg.horizon = 15.0;
+        let timeline =
+            ChurnTimeline::none().at(12.5, ChurnAction::LinkDown(LinkId(0)));
+        let mut sim = Simulation::with_churn(cfg, 1, timeline);
+        let m = sim.run(&mut LineForward).clone();
+        assert_eq!(m.arrived, 1);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.dropped_for(DropReason::LinkFailure), 1);
+        assert_eq!(sim.link_used(LinkId(0)), 0.0, "reservation reclaimed");
+        assert!(!sim.is_link_up(LinkId(0)));
+        let stats = sim.churn_stats().unwrap();
+        assert_eq!(stats.link_downs, 1);
+        assert_eq!(stats.flows_killed_link, 1);
+        assert_eq!(stats.events_applied, 1);
+        assert_eq!(stats.sp_recomputes, 1);
+        assert_eq!(sim.topo_version(), 1);
+    }
+
+    #[test]
+    fn deliver_policy_spares_in_transit_flows() {
+        let mut cfg = line_scenario();
+        cfg.horizon = 15.0;
+        let timeline = ChurnTimeline::none()
+            .at(12.5, ChurnAction::LinkDown(LinkId(0)))
+            .with_transit(TransitPolicy::Deliver);
+        let mut sim = Simulation::with_churn(cfg, 1, timeline);
+        let m = sim.run(&mut LineForward).clone();
+        // The failure strikes after the in-flight stream clears: the flow
+        // still reaches node 1 at t=13 and completes via link 1.
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.dropped_total(), 0);
+        assert_eq!(sim.churn_stats().unwrap().flows_killed_link, 0);
+    }
+
+    #[test]
+    fn forward_onto_dead_link_drops_at_the_node() {
+        let mut cfg = line_scenario();
+        cfg.horizon = 15.0;
+        // Link 0 is already down when the flow tries to leave node 0.
+        let timeline = ChurnTimeline::none().at(5.0, ChurnAction::LinkDown(LinkId(0)));
+        let mut sim = Simulation::with_churn(cfg, 1, timeline);
+        let m = sim.run(&mut LineForward).clone();
+        assert_eq!(m.dropped_for(DropReason::LinkFailure), 1);
+        assert_eq!(m.completed, 0);
+    }
+
+    #[test]
+    fn node_down_kills_flows_and_instances() {
+        let mut cfg = line_scenario();
+        cfg.horizon = 25.0;
+        let timeline = ChurnTimeline::none().at(11.0, ChurnAction::NodeDown(NodeId(0)));
+        let mut sim = Simulation::with_churn(cfg, 1, timeline);
+        let m = sim.run(&mut LineForward).clone();
+        // Flow 1 (t=10) is processing at node 0 when it dies at t=11;
+        // flow 2 (t=20) arrives at the dead ingress and dies on entry.
+        assert_eq!(m.arrived, 2);
+        assert_eq!(m.dropped_for(DropReason::NodeFailure), 2);
+        assert_eq!(m.completed, 0);
+        assert_eq!(sim.node_used(NodeId(0)), 0.0, "capacity reclaimed");
+        assert_eq!(sim.num_instances(), 0);
+        // The lost instance counts as stopped: conservation holds.
+        assert_eq!(m.instances_started, 1);
+        assert_eq!(m.instances_stopped, 1);
+        let stats = sim.churn_stats().unwrap();
+        assert_eq!(stats.flows_killed_node, 2);
+        assert_eq!(stats.instances_lost, 1);
+        assert!(!sim.is_node_up(NodeId(0)));
+    }
+
+    #[test]
+    fn repair_restores_service() {
+        let mut cfg = line_scenario();
+        cfg.horizon = 25.0;
+        let timeline = ChurnTimeline::none()
+            .at(5.0, ChurnAction::NodeDown(NodeId(0)))
+            .at(15.0, ChurnAction::NodeUp(NodeId(0)));
+        let mut sim = Simulation::with_churn(cfg, 1, timeline);
+        let m = sim.run(&mut LineForward).clone();
+        // Flow 1 (t=10) dies at the dead ingress; flow 2 (t=20) completes
+        // on the repaired substrate.
+        assert_eq!(m.dropped_for(DropReason::NodeFailure), 1);
+        assert_eq!(m.completed, 1);
+        assert!(sim.is_node_up(NodeId(0)));
+        assert_eq!(sim.node_capacity(NodeId(0)), 10.0, "nominal restored");
+        assert_eq!(sim.windowed_success_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn degrades_enforce_effective_capacity() {
+        // Link degraded to zero capacity: the forward fails the admission
+        // check (LinkCapacity, not LinkFailure — the link is up).
+        let mut cfg = line_scenario();
+        cfg.horizon = 15.0;
+        let timeline = ChurnTimeline::none().at(
+            5.0,
+            ChurnAction::DegradeLinkCapacity {
+                link: LinkId(0),
+                factor: 0.0,
+            },
+        );
+        let mut sim = Simulation::with_churn(cfg, 1, timeline);
+        let m = sim.run(&mut LineForward).clone();
+        assert_eq!(m.dropped_for(DropReason::LinkCapacity), 1);
+        assert_eq!(sim.link_capacity(LinkId(0)), 0.0);
+        assert!(sim.is_link_up(LinkId(0)));
+        assert_eq!(sim.churn_stats().unwrap().sp_recomputes, 0, "capacity-only");
+
+        // Node degraded below the flow demand: NodeCapacity drop.
+        let mut cfg = line_scenario();
+        cfg.horizon = 15.0;
+        let timeline = ChurnTimeline::none().at(
+            5.0,
+            ChurnAction::DegradeNodeCapacity {
+                node: NodeId(0),
+                factor: 0.05,
+            },
+        );
+        let mut sim = Simulation::with_churn(cfg, 1, timeline);
+        let m = sim.run(&mut LineForward).clone();
+        assert_eq!(m.dropped_for(DropReason::NodeCapacity), 1);
+        assert!((sim.node_capacity(NodeId(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_spike_updates_paths_and_forwarding() {
+        let mut cfg = line_scenario();
+        cfg.horizon = 20.0;
+        let timeline = ChurnTimeline::none().at(
+            1.0,
+            ChurnAction::DelaySpike {
+                link: LinkId(0),
+                factor: 5.0,
+            },
+        );
+        let mut sim = Simulation::with_churn(cfg, 1, timeline);
+        let m = sim.run(&mut LineForward).clone();
+        assert_eq!(sim.link_delay(LinkId(0)), 5.0);
+        // Shortest paths were recomputed with the spiked delay.
+        assert_eq!(sim.shortest_paths().delay(NodeId(0), NodeId(2)), 6.0);
+        // e2e = 2 ms processing + 5 ms spiked hop + 1 ms second hop.
+        assert_eq!(m.completed, 1);
+        assert!((m.avg_e2e_delay().unwrap() - 8.0).abs() < 1e-9);
+        assert_eq!(sim.churn_stats().unwrap().sp_recomputes, 1);
+    }
+
+    /// A resource release scheduled *before* a fault must not fire after
+    /// the fault reclaimed that capacity wholesale (the epoch guard):
+    /// otherwise a post-repair reservation would be silently released.
+    #[test]
+    fn stale_release_is_skipped_across_a_down_up_cycle() {
+        struct Probe {
+            samples: Vec<(f64, f64)>,
+        }
+        impl Coordinator for Probe {
+            fn decide(&mut self, sim: &Simulation, dp: &DecisionPoint) -> Action {
+                if dp.component.is_some() {
+                    self.samples.push((dp.time, sim.node_used(NodeId(0))));
+                }
+                Action::Local
+            }
+        }
+
+        let mut cfg = line_scenario();
+        cfg.topology.scale_capacities(2.0 / 10.0, 1.0); // node capacity 2.0
+        // Flow A: arrives t=10, reserves 1.0 with release queued for t=15.
+        cfg.ingresses[0].profile = FlowProfile::new(1.0, 5.0, 50.0);
+        // Flow B: arrives t=13 (after the repair), reserves 1.0 until t=23.
+        cfg.ingresses.push(IngressSpec {
+            pattern: ArrivalPattern::Fixed { interval: 13.0 },
+            profile: FlowProfile::new(1.0, 10.0, 50.0),
+            ..cfg.ingresses[0].clone()
+        });
+        // Observer flow C: its arrival decision at t=17 samples the node.
+        cfg.ingresses.push(IngressSpec {
+            pattern: ArrivalPattern::Fixed { interval: 17.0 },
+            profile: FlowProfile::new(1.0, 10.0, 50.0),
+            ..cfg.ingresses[0].clone()
+        });
+        cfg.horizon = 19.0;
+        // Node 0 fails at t=11 (killing A, reclaiming its reservation) and
+        // is repaired at t=12.
+        let timeline = ChurnTimeline::none()
+            .at(11.0, ChurnAction::NodeDown(NodeId(0)))
+            .at(12.0, ChurnAction::NodeUp(NodeId(0)));
+        let mut sim = Simulation::with_churn(cfg, 1, timeline);
+        let mut probe = Probe { samples: Vec::new() };
+        let m = sim.run(&mut probe).clone();
+
+        assert_eq!(m.dropped_for(DropReason::NodeFailure), 1, "flow A");
+        let at_17: Vec<f64> = probe
+            .samples
+            .iter()
+            .filter(|(t, _)| *t == 17.0)
+            .map(|&(_, used)| used)
+            .collect();
+        // 0.0 here would mean A's stale release (queued for t=15, epoch 0)
+        // fired after the fault already reclaimed its reservation —
+        // stealing B's live share.
+        assert_eq!(at_17, vec![1.0], "node 0 usage at t=17");
+    }
+
+    #[test]
+    fn churn_run_is_deterministic_and_conserves_flows() {
+        let timeline = || {
+            ChurnTimeline::new(vec![
+                (150.0, ChurnAction::LinkDown(LinkId(3))),
+                (220.0, ChurnAction::NodeDown(NodeId(5))),
+                (300.0, ChurnAction::LinkUp(LinkId(3))),
+                (
+                    380.0,
+                    ChurnAction::DegradeNodeCapacity {
+                        node: NodeId(2),
+                        factor: 0.3,
+                    },
+                ),
+                (420.0, ChurnAction::NodeUp(NodeId(5))),
+                (
+                    500.0,
+                    ChurnAction::DelaySpike {
+                        link: LinkId(1),
+                        factor: 4.0,
+                    },
+                ),
+            ])
+        };
+        let run = || {
+            let cfg = ScenarioConfig::paper_base(3).with_horizon(1_500.0);
+            let mut sim = Simulation::with_churn(cfg, 9, timeline());
+            let mut rc = RandomCoordinator::new(4);
+            let m = sim.run(&mut rc).clone();
+            let stats = *sim.churn_stats().unwrap();
+            // Flow conservation through every fault and repair.
+            assert_eq!(
+                m.arrived,
+                m.completed + m.dropped_total() + sim.live_flows() as u64
+            );
+            // Instance conservation: lost instances count as stopped.
+            assert_eq!(
+                m.instances_started,
+                m.instances_stopped + sim.num_instances() as u64
+            );
+            (m, stats)
+        };
+        let (m1, s1) = run();
+        let (m2, s2) = run();
+        assert_eq!(m1, m2, "same seed + same timeline ⇒ exact-equal metrics");
+        assert_eq!(s1, s2);
+        assert_eq!(s1.events_applied, 6);
+        assert_eq!(s1.sp_recomputes, 5, "degrade does not recompute");
+        assert!(m1.arrived > 100);
     }
 }

@@ -82,6 +82,8 @@ pub enum TopologyError {
     InvalidValue(String),
     /// The topology has no nodes.
     Empty,
+    /// The topology is not connected (some node pair is unreachable).
+    Disconnected,
 }
 
 impl fmt::Display for TopologyError {
@@ -94,6 +96,7 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::InvalidValue(what) => write!(f, "invalid value: {what}"),
             TopologyError::Empty => write!(f, "topology has no nodes"),
+            TopologyError::Disconnected => write!(f, "topology is not connected"),
         }
     }
 }
@@ -259,6 +262,19 @@ impl Topology {
             }
         }
         count == self.nodes.len()
+    }
+
+    /// Errors with [`TopologyError::Disconnected`] unless the graph is
+    /// connected. Scenario loaders call this to reject Topology-Zoo files
+    /// with isolated islands up front (a disconnected substrate would make
+    /// some ingress/egress pairs unreachable by construction) instead of
+    /// failing later inside a simulation.
+    pub fn require_connected(&self) -> Result<(), TopologyError> {
+        if self.is_connected() {
+            Ok(())
+        } else {
+            Err(TopologyError::Disconnected)
+        }
     }
 
     /// Overwrites node and link capacities with uniformly random values, as

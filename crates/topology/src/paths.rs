@@ -92,6 +92,63 @@ impl ShortestPaths {
         ShortestPaths { n, dist, next_hop }
     }
 
+    /// Like [`ShortestPaths::compute`], but on a *masked* view of the
+    /// topology: a link is usable only while `link_up[l]` holds and both
+    /// endpoints satisfy `node_up[v]`, and its delay is read from
+    /// `delays[l]` instead of the topology (churn may spike delays without
+    /// rebuilding the graph).
+    ///
+    /// The relaxation order is identical to a fresh
+    /// [`ShortestPaths::compute`] on a topology rebuilt from the surviving
+    /// links with the masked delays, so the result — distances *and* next
+    /// hops — is exactly equal to that fresh computation (pinned by
+    /// proptest). Dead or disconnected pairs have infinite delay; a dead
+    /// node still has `delay(v, v) == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask or delay slice is shorter than the topology's node
+    /// or link count.
+    pub fn compute_masked(
+        topo: &Topology,
+        node_up: &[bool],
+        link_up: &[bool],
+        delays: &[f64],
+    ) -> Self {
+        let n = topo.num_nodes();
+        assert!(node_up.len() >= n, "node mask covers every node");
+        assert!(link_up.len() >= topo.num_links(), "link mask covers every link");
+        assert!(delays.len() >= topo.num_links(), "delays cover every link");
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut next_hop: Vec<Option<NodeId>> = vec![None; n * n];
+
+        for s in topo.node_ids() {
+            let row = s.0 * n;
+            dist[row + s.0] = 0.0;
+            let mut heap = BinaryHeap::new();
+            heap.push(HeapEntry { dist: 0.0, node: s });
+            let mut first: Vec<Option<NodeId>> = vec![None; n];
+            while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+                if d > dist[row + v.0] {
+                    continue; // stale entry
+                }
+                for &(w, l) in topo.neighbors(v) {
+                    if !link_up[l.0] || !node_up[v.0] || !node_up[w.0] {
+                        continue; // masked out by churn
+                    }
+                    let nd = d + delays[l.0];
+                    if nd < dist[row + w.0] {
+                        dist[row + w.0] = nd;
+                        first[w.0] = if v == s { Some(w) } else { first[v.0] };
+                        heap.push(HeapEntry { dist: nd, node: w });
+                    }
+                }
+            }
+            next_hop[row..row + n].copy_from_slice(&first);
+        }
+        ShortestPaths { n, dist, next_hop }
+    }
+
     /// Shortest-path delay from `s` to `t` (0 for `s == t`,
     /// `f64::INFINITY` if unreachable).
     pub fn delay(&self, s: NodeId, t: NodeId) -> f64 {
@@ -266,6 +323,62 @@ mod tests {
         assert_eq!(links.len(), 2);
         let total: f64 = links.iter().map(|&l| t.link(l).delay).sum();
         assert_eq!(total, sp.delay(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn masked_with_everything_up_equals_fresh_compute() {
+        let t = crate::zoo::abilene();
+        let delays: Vec<f64> = t.link_ids().map(|l| t.link(l).delay).collect();
+        let fresh = ShortestPaths::compute(&t);
+        let masked = ShortestPaths::compute_masked(
+            &t,
+            &vec![true; t.num_nodes()],
+            &vec![true; t.num_links()],
+            &delays,
+        );
+        assert_eq!(fresh, masked);
+    }
+
+    #[test]
+    fn masked_dead_link_forces_detour() {
+        let t = detour();
+        let delays: Vec<f64> = t.link_ids().map(|l| t.link(l).delay).collect();
+        let mut link_up = vec![true; t.num_links()];
+        // Kill 0-1: the only 0→2 route left is the direct delay-5 link.
+        link_up[t.link_between(NodeId(0), NodeId(1)).unwrap().0] = false;
+        let sp = ShortestPaths::compute_masked(&t, &[true; 3], &link_up, &delays);
+        assert_eq!(sp.delay(NodeId(0), NodeId(2)), 5.0);
+        assert_eq!(sp.next_hop(NodeId(0), NodeId(2)), Some(NodeId(2)));
+        // 0→1 now detours the long way around: 0→2→1 = 5 + 1.
+        assert_eq!(sp.delay(NodeId(0), NodeId(1)), 6.0);
+        assert_eq!(sp.next_hop(NodeId(0), NodeId(1)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn masked_dead_node_isolates_it_but_keeps_self_delay() {
+        let t = detour();
+        let delays: Vec<f64> = t.link_ids().map(|l| t.link(l).delay).collect();
+        let sp = ShortestPaths::compute_masked(
+            &t,
+            &[true, false, true],
+            &[true; 3],
+            &delays,
+        );
+        assert!(!sp.delay(NodeId(0), NodeId(1)).is_finite());
+        assert_eq!(sp.delay(NodeId(1), NodeId(1)), 0.0);
+        // 0→2 survives via the direct link, not through the dead node.
+        assert_eq!(sp.delay(NodeId(0), NodeId(2)), 5.0);
+    }
+
+    #[test]
+    fn masked_delay_override_reroutes() {
+        let t = detour();
+        // Spike the 0-1 link delay so the direct 0-2 link wins.
+        let mut delays: Vec<f64> = t.link_ids().map(|l| t.link(l).delay).collect();
+        delays[t.link_between(NodeId(0), NodeId(1)).unwrap().0] = 100.0;
+        let sp = ShortestPaths::compute_masked(&t, &[true; 3], &[true; 3], &delays);
+        assert_eq!(sp.delay(NodeId(0), NodeId(2)), 5.0);
+        assert_eq!(sp.next_hop(NodeId(0), NodeId(2)), Some(NodeId(2)));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use dosco_topology::generators::{self, DegreeProfile};
 use dosco_topology::paths::ShortestPaths;
 use dosco_topology::stats::DegreeStats;
-use dosco_topology::NodeId;
+use dosco_topology::{LinkId, NodeId, TopologyBuilder};
 use proptest::prelude::*;
 
 proptest! {
@@ -95,5 +95,96 @@ proptest! {
     fn node_id_display(idx in 0usize..1000) {
         let v = NodeId(idx);
         prop_assert_eq!(v.to_string(), format!("v{idx}"));
+    }
+
+    /// The churn fast path: after an arbitrary sequence of link/node
+    /// removals, restores, and delay overrides, `compute_masked` on the
+    /// original topology equals a fresh `compute` on a topology with the
+    /// dead entities physically removed and the overridden delays baked
+    /// in — including disconnected pairs, which must stay unreachable.
+    #[test]
+    fn masked_paths_equal_fresh_compute_on_mutated_topology(
+        seed in 0u64..30,
+        n in 5usize..16,
+        ops in proptest::collection::vec(0u64..1_000_000, 0..24),
+    ) {
+        let topo = generators::random_geometric(n, 300.0, 120.0, seed).unwrap();
+        let mut node_up = vec![true; topo.num_nodes()];
+        let mut link_up = vec![true; topo.num_links()];
+        let mut delays: Vec<f64> = topo.link_ids().map(|l| topo.link(l).delay).collect();
+        for &op in &ops {
+            // Decode one packed op (the vendored proptest has no tuple
+            // strategies): kind, entity index, delay factor.
+            let (kind, idx, factor) = (op % 4, (op / 4) as usize % 64, 1 + (op / 256) % 5);
+            match kind {
+                0 => {
+                    let i = idx % link_up.len();
+                    link_up[i] = !link_up[i];
+                }
+                1 => {
+                    let i = idx % node_up.len();
+                    node_up[i] = !node_up[i];
+                }
+                2 => {
+                    let i = idx % delays.len();
+                    delays[i] = topo.link(LinkId(i)).delay * factor as f64;
+                }
+                _ => {
+                    // Explicit restore: entity up, nominal delay.
+                    let i = idx % link_up.len();
+                    link_up[i] = true;
+                    delays[i] = topo.link(LinkId(i)).delay;
+                }
+            }
+        }
+        prop_assume!(node_up.iter().any(|&u| u));
+        let masked = ShortestPaths::compute_masked(&topo, &node_up, &link_up, &delays);
+
+        // Reference: rebuild the surviving substrate from scratch.
+        let mut b = TopologyBuilder::new("mutated");
+        let mut map: Vec<Option<NodeId>> = vec![None; topo.num_nodes()];
+        for v in topo.node_ids() {
+            if node_up[v.0] {
+                let node = topo.node(v);
+                map[v.0] = Some(b.add_node(node.name.clone(), node.capacity));
+            }
+        }
+        for l in topo.link_ids() {
+            if !link_up[l.0] {
+                continue;
+            }
+            let link = topo.link(l);
+            if let (Some(a), Some(t)) = (map[link.a.0], map[link.b.0]) {
+                b.add_link(a, t, delays[l.0], link.capacity).unwrap();
+            }
+        }
+        let fresh = ShortestPaths::compute(&b.build().unwrap());
+
+        for a in topo.node_ids() {
+            for t in topo.node_ids() {
+                let got = masked.delay(a, t);
+                match (map[a.0], map[t.0]) {
+                    (Some(fa), Some(ft)) => {
+                        let want = fresh.delay(fa, ft);
+                        if want.is_finite() {
+                            prop_assert!(
+                                (got - want).abs() < 1e-9,
+                                "delay({a}, {t}): masked {got} vs fresh {want}"
+                            );
+                        } else {
+                            prop_assert!(
+                                got.is_infinite(),
+                                "disconnected pair ({a}, {t}) must stay unreachable, got {got}"
+                            );
+                        }
+                    }
+                    _ if a == t => prop_assert_eq!(got, 0.0, "self delay survives failure"),
+                    _ => prop_assert!(
+                        got.is_infinite(),
+                        "pair ({a}, {t}) touches a dead node, got {got}"
+                    ),
+                }
+            }
+        }
     }
 }

@@ -58,6 +58,23 @@ cargo test --release -p dosco-bench --test obs_overhead -- --include-ignored
 echo "== obs trace determinism (byte-identical same-seed runs) =="
 cargo test -q --test obs_trace
 
+echo "== chaos: no-churn bit-identity (goldens incl. DOSCO_TRACE hash) =="
+cargo test -q --test simcore_goldens
+cargo test -q -p dosco-simnet --lib empty_timeline_is_identical_to_plain_new
+cargo test -q -p dosco-core --lib empty_churn_schedule_is_identical
+
+echo "== chaos: same-seed churn trace byte-identity =="
+cargo test -q --test chaos_trace
+
+echo "== chaos: train-under-churn + pinned-fault resilience e2e =="
+cargo test -q --test chaos_e2e
+
+echo "== chaos: substrate churn smoke (release, bounded time + conservation) =="
+cargo test --release -p dosco-bench --test chaos_smoke -- --include-ignored
+
+echo "== chaos: ctl /metrics churn surface (drop causes + windowed ratio) =="
+cargo test --release -p dosco-ctl --test churn_metrics
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -7,6 +7,7 @@
 //! See the `README.md` for a tour and `examples/` for runnable scenarios.
 
 pub use dosco_baselines as baselines;
+pub use dosco_chaos as chaos;
 pub use dosco_core as core;
 pub use dosco_ctl as ctl;
 pub use dosco_net as net;
